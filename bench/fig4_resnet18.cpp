@@ -1,0 +1,17 @@
+// Fig. 4: scheduling results for the ResNet18 task set (17 HP + 34 LP tasks
+// at 30 JPS each = 150% of the batching upper baseline).
+//
+// Paper expectations: MPS peaks at Nc = 6 with ~1158 JPS, 13% above the
+// 1025-JPS batching baseline; STR DMR ~ 0; MPS DMR < 7% (~2% at the peak);
+// MPS+STR the least favourable policy.
+#include "fig_common.h"
+
+int main() {
+  daris::bench::FigureExpectation expect;
+  expect.peak_config = "MPS 6x1 6";
+  expect.peak_jps = 1158.0;
+  expect.dmr_note =
+      "STR DMR ~0, MPS DMR <7% (~2% at peak), MPS+STR worst (up to 25%)";
+  return daris::bench::run_scheduling_figure(
+      daris::dnn::ModelKind::kResNet18, "Fig. 4", expect);
+}

@@ -1,0 +1,16 @@
+// Fig. 5: scheduling results for the UNet task set (5 HP + 10 LP at 24 JPS).
+//
+// Paper expectations: peak ~281 JPS at 6x1 OS 2, 8% above the 260-JPS
+// batching baseline; UNet shows the lowest DMR of all task sets (<3%,
+// 0.25% at its best-throughput configuration) and the least sensitivity to
+// concurrency configuration.
+#include "fig_common.h"
+
+int main() {
+  daris::bench::FigureExpectation expect;
+  expect.peak_config = "MPS 6x1 2";
+  expect.peak_jps = 281.0;
+  expect.dmr_note = "lowest DMR of all DNNs: <3% peak, 0.25% at best config";
+  return daris::bench::run_scheduling_figure(daris::dnn::ModelKind::kUNet,
+                                             "Fig. 5", expect);
+}

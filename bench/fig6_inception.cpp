@@ -1,0 +1,17 @@
+// Fig. 6: scheduling results for the InceptionV3 task set (9 HP + 18 LP at
+// 24 JPS).
+//
+// Paper expectations: benefits from concurrency up to Nc = 8; reaches only
+// ~87% of its 446-JPS batching upper baseline (narrow multi-branch
+// architecture); MPS DMR < 7% (~2% at the 8x1 OS 8 peak); the only STR
+// deadline misses of the study (<2%) occur in the 1x2 configuration.
+#include "fig_common.h"
+
+int main() {
+  daris::bench::FigureExpectation expect;
+  expect.peak_config = "MPS 8x1 8";
+  expect.peak_jps = 0.87 * 446.0;
+  expect.dmr_note = "~87% of upper baseline; MPS DMR <7%, ~2% at peak";
+  return daris::bench::run_scheduling_figure(
+      daris::dnn::ModelKind::kInceptionV3, "Fig. 6", expect);
+}

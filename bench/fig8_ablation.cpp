@@ -1,0 +1,86 @@
+// Fig. 8: DARIS module contributions on the ResNet18 task set at the best
+// configuration (6x1 OS 6). Five scenarios:
+//   DARIS      — everything on
+//   No Staging — jobs enqueued eagerly as whole units (no preemption points)
+//   No Last    — last stages of tasks not prioritised
+//   No Prior   — no boost after a missed virtual deadline
+//   No Fixed   — no fixed inter-class levels (one global EDF band)
+//
+// Paper: HP responses 5-12 ms vs LP 5-27.5 ms (~2.5x faster); No Staging
+// drops throughput 33% and yields 5.5%/22.5% HP/LP DMR; No Last raises HP
+// worst-case response 38%; No Prior raises average responses; No Fixed
+// gives ~2.5% DMR for both classes.
+#include <cstdio>
+
+#include "common/table.h"
+#include "experiments/runner.h"
+
+using namespace daris;
+
+namespace {
+exp::RunResult run_scenario(bool staging, bool last, bool prior, bool fixed) {
+  exp::RunConfig cfg;
+  cfg.taskset = workload::table2_taskset(dnn::ModelKind::kResNet18);
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 6;
+  cfg.sched.oversubscription = 6.0;
+  cfg.sched.staging = staging;
+  cfg.sched.prioritize_last_stage = last;
+  cfg.sched.boost_after_miss = prior;
+  cfg.sched.fixed_levels = fixed;
+  cfg.duration_s = 6.0;
+  return exp::run_daris(cfg);
+}
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 8: DARIS module contributions (ResNet18, 6x1 OS6) ==\n\n");
+
+  struct Scenario {
+    const char* name;
+    bool staging, last, prior, fixed;
+  };
+  const Scenario scenarios[] = {
+      {"DARIS", true, true, true, true},
+      {"No Staging", false, true, true, true},
+      {"No Last", true, false, true, true},
+      {"No Prior", true, true, false, true},
+      {"No Fixed", true, true, true, false},
+  };
+
+  common::Table table({"scenario", "norm JPS", "HP DMR", "LP DMR",
+                       "HP resp p50/p99/max (ms)", "LP resp p50/p99/max (ms)",
+                       "LP/HP resp ratio"});
+  double daris_jps = 0.0;
+  exp::RunResult daris_result;
+  for (const auto& s : scenarios) {
+    const exp::RunResult r = run_scenario(s.staging, s.last, s.prior, s.fixed);
+    if (daris_jps == 0.0) {
+      daris_jps = r.total_jps;
+      daris_result = r;
+    }
+    char hp[64], lp[64];
+    std::snprintf(hp, sizeof(hp), "%.1f / %.1f / %.1f",
+                  r.hp.response_ms.percentile(50),
+                  r.hp.response_ms.percentile(99), r.hp.response_ms.max());
+    std::snprintf(lp, sizeof(lp), "%.1f / %.1f / %.1f",
+                  r.lp.response_ms.percentile(50),
+                  r.lp.response_ms.percentile(99), r.lp.response_ms.max());
+    table.add_row({s.name, common::fmt_double(r.total_jps / daris_jps, 3),
+                   common::fmt_percent(r.hp.dmr(), 2),
+                   common::fmt_percent(r.lp.dmr(), 2), hp, lp,
+                   common::fmt_double(r.lp.response_ms.percentile(50) /
+                                          r.hp.response_ms.percentile(50),
+                                      2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("paper expectations:\n");
+  std::printf("  DARIS:      HP 5-12 ms, LP 5-27.5 ms (HP ~2.5x faster)\n");
+  std::printf("  No Staging: throughput -33%%, HP DMR 5.5%%, LP DMR 22.5%%, "
+              "responses rise\n");
+  std::printf("  No Last:    HP worst-case response +38%%, throughput ~flat\n");
+  std::printf("  No Prior:   average responses rise for all tasks\n");
+  std::printf("  No Fixed:   ~2.5%% DMR for both priorities\n");
+  return 0;
+}

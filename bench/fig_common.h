@@ -1,0 +1,62 @@
+// Shared main() body for the per-DNN scheduling figures (Figs. 4-6):
+// run the paper's policy grid on one Table II task set and print the
+// throughput + LP DMR panels with paper-expected callouts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/batching_server.h"
+#include "experiments/grid.h"
+
+namespace daris::bench {
+
+struct FigureExpectation {
+  const char* peak_config;       // e.g. "MPS 6x1 6"
+  double peak_jps;               // paper's peak throughput
+  const char* dmr_note;          // textual DMR expectation
+};
+
+inline int run_scheduling_figure(dnn::ModelKind kind, const char* figure,
+                                 const FigureExpectation& expect) {
+  const gpusim::GpuSpec spec = gpusim::GpuSpec::rtx2080ti();
+  const auto lower = baselines::measure_batched_jps(kind, 1, spec, 2.0);
+  const auto upper = baselines::best_batched_jps(kind, spec, 2.0);
+
+  std::printf("== %s: scheduling results for the %s task set ==\n\n", figure,
+              dnn::model_name(kind));
+  const auto results =
+      exp::run_grid(workload::table2_taskset(kind), exp::paper_grid());
+  std::printf("%s\n",
+              exp::render_figure_table(results, lower.jps, upper.jps).c_str());
+
+  const exp::GridResult* best = exp::best_throughput(results);
+  std::printf("peak measured: %s at %.0f JPS (%s vs upper baseline)\n",
+              best->point.label.c_str(), best->result.total_jps,
+              exp::relative_error(best->result.total_jps, upper.jps).c_str());
+  std::printf("paper:         %s at %.0f JPS; %s\n", expect.peak_config,
+              expect.peak_jps, expect.dmr_note);
+
+  // Cross-policy summary (paper Sec. VI-C): MPS best throughput, STR best
+  // timeliness, MPS+STR least favourable.
+  double best_jps[3] = {0, 0, 0};
+  double worst_dmr[3] = {0, 0, 0};
+  for (const auto& r : results) {
+    const int p = static_cast<int>(r.point.sched.policy);
+    best_jps[p] = std::max(best_jps[p], r.result.total_jps);
+    worst_dmr[p] = std::max(worst_dmr[p], r.result.lp.dmr());
+  }
+  std::printf("\npolicy summary (best JPS / worst LP DMR):\n");
+  const char* names[] = {"STR", "MPS", "MPS+STR"};
+  for (int p : {0, 1, 2}) {
+    std::printf("  %-8s %6.0f JPS / %5.2f%%\n", names[p], best_jps[p],
+                100.0 * worst_dmr[p]);
+  }
+  bool hp_missed = false;
+  for (const auto& r : results) hp_missed |= r.result.hp.missed > 0;
+  std::printf("HP deadline misses anywhere in the grid: %s (paper: none)\n",
+              hp_missed ? "YES" : "none");
+  return 0;
+}
+
+}  // namespace daris::bench

@@ -1,0 +1,88 @@
+// Microbenchmarks of the GPU simulator itself (google-benchmark): event
+// throughput of the fluid executor under different concurrency shapes.
+#include <benchmark/benchmark.h>
+
+#include "dnn/zoo.h"
+#include "gpusim/gpu.h"
+#include "gpusim/partition.h"
+#include "sim/simulator.h"
+
+using namespace daris;
+
+namespace {
+
+/// Closed-loop: `streams` streams continuously re-launch a ResNet18-like
+/// kernel mix; measures simulated kernels processed per wall second.
+void BM_GpuFluidExecutor(benchmark::State& state) {
+  const int contexts = static_cast<int>(state.range(0));
+  const int streams_per_ctx = static_cast<int>(state.range(1));
+  const gpusim::GpuSpec spec = gpusim::GpuSpec::rtx2080ti();
+  const auto model = dnn::compiled_model(dnn::ModelKind::kResNet18, 1, spec);
+
+  for (auto _ : state) {
+    sim::Simulator sim;
+    gpusim::Gpu gpu(sim, spec);
+    const auto quotas = gpusim::partition_quotas(spec, contexts, contexts);
+    std::vector<gpusim::StreamId> streams;
+    for (int c = 0; c < contexts; ++c) {
+      const auto ctx = gpu.create_context(quotas[static_cast<std::size_t>(c)]);
+      for (int s = 0; s < streams_per_ctx; ++s) {
+        streams.push_back(gpu.create_stream(ctx));
+      }
+    }
+    // Two full model instances per stream, enqueued up front.
+    for (const auto s : streams) {
+      for (int rep = 0; rep < 2; ++rep) {
+        for (const auto& stage : model.stages) {
+          for (const auto& k : stage.kernels) gpu.launch_kernel(s, k);
+        }
+      }
+    }
+    sim.run();
+    state.counters["kernels"] = static_cast<double>(gpu.kernels_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<long>(model.kernel_count()) *
+                          static_cast<long>(contexts * streams_per_ctx));
+}
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < events; ++i) {
+      sim.schedule_at((i * 7919) % 1000000, [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(static_cast<std::size_t>(events));
+    for (int i = 0; i < events; ++i) {
+      handles.push_back(sim.schedule_at((i * 131) % 100000, [] {}));
+    }
+    // Cancel every other event (the executor's reschedule pattern).
+    for (std::size_t i = 0; i < handles.size(); i += 2) sim.cancel(handles[i]);
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GpuFluidExecutor)
+    ->Args({1, 6})
+    ->Args({6, 1})
+    ->Args({3, 3})
+    ->Args({10, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(100000);
+
+BENCHMARK_MAIN();

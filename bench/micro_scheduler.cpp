@@ -1,0 +1,72 @@
+// Microbenchmarks of DARIS scheduler hot paths (google-benchmark): stage
+// queue operations, MRET updates, and end-to-end scheduling cost per job.
+#include <benchmark/benchmark.h>
+
+#include "daris/mret.h"
+#include "daris/stage_queue.h"
+#include "experiments/runner.h"
+
+using namespace daris;
+
+namespace {
+
+void BM_StageQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::StageQueue q;
+    for (int i = 0; i < n; ++i) {
+      rt::ReadyStage s;
+      s.level = i % 8;
+      s.deadline = (i * 977) % 100000;
+      q.push(s);
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_MretRecordAndQuery(benchmark::State& state) {
+  rt::MretEstimator m(4, 5);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    m.record(i % 4, static_cast<double>(500 + (i * 13) % 200));
+    benchmark::DoNotOptimize(m.total_mret_us());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_VirtualDeadlines(benchmark::State& state) {
+  rt::MretEstimator m(4, 5);
+  for (std::size_t j = 0; j < 4; ++j) m.record(j, 400.0 + 100.0 * j);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.virtual_deadlines(common::from_ms(33.3)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// End-to-end cost: simulated jobs scheduled per wall second on the
+/// ResNet18 task set at the paper's peak configuration.
+void BM_EndToEndScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    exp::RunConfig cfg;
+    cfg.taskset = workload::table2_taskset(dnn::ModelKind::kResNet18);
+    cfg.sched.policy = rt::Policy::kMps;
+    cfg.sched.num_contexts = 6;
+    cfg.sched.oversubscription = 6.0;
+    cfg.duration_s = 1.0;
+    cfg.warmup_s = 0.0;
+    const exp::RunResult r = exp::run_daris(cfg);
+    state.counters["sim_jobs"] = static_cast<double>(r.hp.completed +
+                                                     r.lp.completed);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_StageQueuePushPop)->Arg(64)->Arg(4096);
+BENCHMARK(BM_MretRecordAndQuery);
+BENCHMARK(BM_VirtualDeadlines);
+BENCHMARK(BM_EndToEndScheduling)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

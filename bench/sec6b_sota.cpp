@@ -1,0 +1,90 @@
+// Sec. VI-B: comparison with state-of-the-art on ResNet50.
+//
+// Paper numbers on the authors' 2080 Ti: batching 433 JPS; DARIS 498 JPS
+// (+15% over batching, +11.5% over a GSlice-like server whose gain over
+// batching is ~3.5%); DARIS without oversubscription drops to 374 JPS.
+// Clockwork-style serialised serving and an RTGPU-like scheduler (global
+// EDF, no staging, no admission) are included for context.
+#include <cstdio>
+
+#include "baselines/batching_server.h"
+#include "baselines/clockwork_server.h"
+#include "baselines/gslice_server.h"
+#include "common/table.h"
+#include "experiments/runner.h"
+
+using namespace daris;
+
+namespace {
+exp::RunResult run_daris_r50(double os, bool staging, bool fixed,
+                             bool admission) {
+  exp::RunConfig cfg;
+  cfg.taskset = workload::resnet50_taskset();
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 6;
+  cfg.sched.oversubscription = os;
+  cfg.sched.staging = staging;
+  cfg.sched.fixed_levels = fixed;
+  cfg.sched.prioritize_last_stage = fixed;
+  cfg.sched.boost_after_miss = fixed;
+  cfg.sched.lp_admission = admission;
+  cfg.duration_s = 6.0;
+  return exp::run_daris(cfg);
+}
+}  // namespace
+
+int main() {
+  const gpusim::GpuSpec spec = gpusim::GpuSpec::rtx2080ti();
+  std::printf("== Sec. VI-B: ResNet50 comparison with state of the art ==\n\n");
+
+  const auto batching =
+      baselines::best_batched_jps(dnn::ModelKind::kResNet50, spec, 3.0);
+  const auto gslice =
+      baselines::best_gslice_jps(dnn::ModelKind::kResNet50, spec, 3.0);
+  const auto daris = run_daris_r50(6.0, true, true, true);
+  const auto daris_no_os = run_daris_r50(1.0, true, true, true);
+  const auto clockwork =
+      baselines::run_clockwork(workload::resnet50_taskset(), spec, 3.0);
+  // RTGPU-like: global EDF without staging, priorities, or admission — run
+  // at full load (not 150% overload) since it has no shedding mechanism.
+  exp::RunConfig rtgpu_cfg;
+  rtgpu_cfg.taskset =
+      workload::scaled_taskset(dnn::ModelKind::kResNet50, 2.0 / 3.0, 1.0 / 3.0);
+  rtgpu_cfg.sched.policy = rt::Policy::kMps;
+  rtgpu_cfg.sched.num_contexts = 6;
+  rtgpu_cfg.sched.oversubscription = 6.0;
+  rtgpu_cfg.sched.staging = false;
+  rtgpu_cfg.sched.fixed_levels = false;
+  rtgpu_cfg.sched.prioritize_last_stage = false;
+  rtgpu_cfg.sched.boost_after_miss = false;
+  rtgpu_cfg.sched.lp_admission = false;
+  rtgpu_cfg.duration_s = 6.0;
+  const auto rtgpu_like = exp::run_daris(rtgpu_cfg);
+
+  common::Table table({"system", "JPS", "vs batching", "HP DMR", "LP DMR",
+                       "paper JPS", "paper vs batching"});
+  auto row = [&](const char* name, double jps, double hp_dmr, double lp_dmr,
+                 const char* paper_jps, const char* paper_rel) {
+    table.add_row({name, common::fmt_double(jps, 0),
+                   common::fmt_percent(jps / batching.jps - 1.0, 1),
+                   common::fmt_percent(hp_dmr, 2),
+                   common::fmt_percent(lp_dmr, 2), paper_jps, paper_rel});
+  };
+  row("batching (upper)", batching.jps, 0, 0, "433", "--");
+  row("GSlice-like", gslice.jps, 0, 0, "~448", "+3.5%");
+  row("DARIS (6x1 OS6)", daris.total_jps, daris.hp.dmr(), daris.lp.dmr(),
+      "498", "+15%");
+  row("DARIS w/o OS (6x1 OS1)", daris_no_os.total_jps, daris_no_os.hp.dmr(),
+      daris_no_os.lp.dmr(), "374", "-14%");
+  row("Clockwork-like (serialised)", clockwork.jps, clockwork.hp_dmr,
+      clockwork.lp_dmr, "--", "low tput, predictable");
+  row("RTGPU-like (EDF, no staging/admission)", rtgpu_like.total_jps,
+      rtgpu_like.hp.dmr(), rtgpu_like.lp.dmr(), "--", "up to 11% misses");
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("DARIS over GSlice-like: %s (paper: +11.5%%)\n",
+              exp::relative_error(daris.total_jps, gslice.jps).c_str());
+  std::printf("paper LP DMR context: [15] reports <=12%% LP misses; DARIS "
+              "stays below 7%% with MPS and ~0 with STR.\n");
+  return 0;
+}

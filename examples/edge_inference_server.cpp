@@ -1,0 +1,83 @@
+// Edge inference server: compare serving strategies for one InceptionV3
+// service on a single GPU — plain batching, a GSlice-like spatial-sharing
+// server, Clockwork-like serialised serving, and DARIS with batched inputs
+// (the paper's Fig. 10 configuration, B = 8).
+//
+// Demonstrates: the baselines API and DARIS's batch mode side by side.
+#include <cstdio>
+
+#include "baselines/batching_server.h"
+#include "baselines/clockwork_server.h"
+#include "baselines/gslice_server.h"
+#include "common/table.h"
+#include "experiments/runner.h"
+
+using namespace daris;
+
+int main() {
+  const gpusim::GpuSpec spec = gpusim::GpuSpec::rtx2080ti();
+  const dnn::ModelKind kind = dnn::ModelKind::kInceptionV3;
+  std::printf("edge inference server study: %s on a simulated 2080 Ti\n\n",
+              dnn::model_name(kind));
+
+  // 1. Plain batching at several batch sizes.
+  common::Table table({"strategy", "samples/sec", "note"});
+  for (int b : {1, 8, 32}) {
+    const auto r = baselines::measure_batched_jps(kind, b, spec, 2.0);
+    char name[32], note[64];
+    std::snprintf(name, sizeof(name), "batching B=%d", b);
+    std::snprintf(note, sizeof(note), "batch latency %.1f ms",
+                  r.batch_latency_ms);
+    table.add_row({name, common::fmt_double(r.jps, 0), note});
+  }
+
+  // 2. GSlice-like spatial sharing.
+  const auto gslice = baselines::best_gslice_jps(kind, spec, 2.0);
+  {
+    char note[64];
+    std::snprintf(note, sizeof(note), "%d slices x B=%d", gslice.slices,
+                  gslice.batch);
+    table.add_row({"GSlice-like", common::fmt_double(gslice.jps, 0), note});
+  }
+
+  // 3. Clockwork-like serialised serving of the Table II task set.
+  const auto clockwork =
+      baselines::run_clockwork(workload::table2_taskset(kind), spec, 2.0);
+  {
+    char note[96];
+    std::snprintf(note, sizeof(note),
+                  "predictable; drops %.0f%% up front, DMR ~0",
+                  100.0 * clockwork.drop_rate);
+    table.add_row({"Clockwork-like", common::fmt_double(clockwork.jps, 0),
+                   note});
+  }
+
+  // 4. DARIS with batched inputs (Fig. 10: B = 8 for InceptionV3).
+  exp::RunConfig cfg;
+  cfg.taskset = workload::table2_taskset(kind);
+  for (auto& t : cfg.taskset.tasks) {
+    t.period *= 8;  // each job now carries 8 samples
+    t.relative_deadline = t.period;
+  }
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 8;
+  cfg.sched.oversubscription = 8.0;
+  cfg.sched.batch = 8;
+  cfg.duration_s = 3.0;
+  const exp::RunResult daris = exp::run_daris(cfg);
+  {
+    char note[96];
+    std::snprintf(note, sizeof(note),
+                  "HP DMR %.2f%%, LP DMR %.2f%%, with deadlines",
+                  100.0 * daris.hp.dmr(), 100.0 * daris.lp.dmr());
+    table.add_row({"DARIS 8x1 OS8 + B=8",
+                   common::fmt_double(daris.total_jps * 8.0, 0), note});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "reading: batching lifts raw samples/sec but offers no deadlines;\n"
+      "DARIS with batched inputs exceeds the batching baseline *and* gives\n"
+      "per-job deadline guarantees with priorities (paper Sec. VI-H).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "baselines/batching_server.h"
+
+#include <functional>
+
+#include "gpusim/gpu.h"
+#include "sim/simulator.h"
+
+namespace daris::baselines {
+
+BatchingResult measure_batched_jps(dnn::ModelKind kind, int batch,
+                                   const gpusim::GpuSpec& spec,
+                                   double duration_s, std::uint64_t seed) {
+  sim::Simulator sim;
+  gpusim::Gpu gpu(sim, spec, seed);
+  const auto ctx = gpu.create_context(static_cast<double>(spec.sm_count));
+  const auto stream = gpu.create_stream(ctx);
+  const dnn::CompiledModel model = dnn::compiled_model(kind, batch, spec);
+
+  const common::Time horizon = common::from_sec(duration_s);
+  std::uint64_t batches = 0;
+
+  std::function<void()> launch = [&] {
+    if (sim.now() >= horizon) return;
+    for (const auto& stage : model.stages) {
+      for (const auto& k : stage.kernels) gpu.launch_kernel(stream, k);
+    }
+    gpu.enqueue_callback(stream, [&] {
+      ++batches;
+      launch();
+    });
+  };
+  launch();
+  sim.run_until(horizon);
+
+  BatchingResult r;
+  r.batches = batches;
+  const double secs = common::to_sec(sim.now() < horizon ? horizon : sim.now());
+  r.jps = static_cast<double>(batches) * batch / secs;
+  r.batch_latency_ms =
+      batches > 0 ? 1e3 * secs / static_cast<double>(batches) : 0.0;
+  return r;
+}
+
+BatchingResult best_batched_jps(dnn::ModelKind kind,
+                                const gpusim::GpuSpec& spec,
+                                double duration_s) {
+  BatchingResult best;
+  for (int b : {2, 4, 8, 16, 32}) {
+    const BatchingResult r = measure_batched_jps(kind, b, spec, duration_s);
+    if (r.jps > best.jps) best = r;
+  }
+  return best;
+}
+
+}  // namespace daris::baselines

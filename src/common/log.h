@@ -1,0 +1,47 @@
+// Minimal leveled logger. The simulator is single-threaded per run; logging
+// goes to stderr and defaults to warnings only so bench output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace daris::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace daris::common
+
+#define DARIS_LOG(level)                                       \
+  if (::daris::common::log_level() <= (level))                 \
+  ::daris::common::detail::LogLine(level)
+
+#define DARIS_LOG_DEBUG DARIS_LOG(::daris::common::LogLevel::kDebug)
+#define DARIS_LOG_INFO DARIS_LOG(::daris::common::LogLevel::kInfo)
+#define DARIS_LOG_WARN DARIS_LOG(::daris::common::LogLevel::kWarn)
+#define DARIS_LOG_ERROR DARIS_LOG(::daris::common::LogLevel::kError)

@@ -1,0 +1,12 @@
+// Two task priority levels (HP / LP) shared across scheduler and metrics.
+#pragma once
+
+namespace daris::common {
+
+enum class Priority { kHigh = 0, kLow = 1 };
+
+inline const char* priority_name(Priority p) {
+  return p == Priority::kHigh ? "HP" : "LP";
+}
+
+}  // namespace daris::common

@@ -1,0 +1,86 @@
+// Lightweight statistics helpers used by the metrics layer and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace daris::common {
+
+/// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples and answers percentile queries (nearest-rank).
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+
+  /// p in [0, 100]; returns 0 when empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Sliding window that tracks the maximum of the last `capacity` values.
+///
+/// This is the data structure behind MRET (Eq. 1): the maximum execution time
+/// observed within the most recent `ws` jobs of a stage. Deque-of-maxima
+/// gives O(1) amortised push and O(1) max query.
+class SlidingWindowMax {
+ public:
+  explicit SlidingWindowMax(std::size_t capacity);
+
+  void push(double value);
+  /// Maximum over the stored window; `fallback` when no samples yet.
+  double max_or(double fallback) const;
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t index;
+    double value;
+  };
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::uint64_t next_index_ = 0;
+  std::deque<Entry> maxima_;  // decreasing values
+};
+
+}  // namespace daris::common

@@ -1,0 +1,57 @@
+// Time representation shared by the whole library.
+//
+// The simulator uses integer nanosecond ticks so that event ordering is exact
+// and runs are bit-reproducible across platforms. Helpers convert to/from the
+// floating-point microsecond/millisecond values used by cost models and
+// reports.
+#pragma once
+
+#include <cstdint>
+
+namespace daris::common {
+
+/// Simulated time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// Durations share the representation of absolute times.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Largest representable time; used as "never".
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+constexpr Duration from_us(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+constexpr Duration from_ms(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+constexpr Duration from_sec(double sec) {
+  return static_cast<Duration>(sec * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr double to_us(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+constexpr double to_ms(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr double to_sec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Period (ns) for a job rate expressed in jobs per second.
+constexpr Duration period_for_jps(double jobs_per_second) {
+  return static_cast<Duration>(static_cast<double>(kSecond) / jobs_per_second +
+                               0.5);
+}
+
+}  // namespace daris::common

@@ -1,0 +1,36 @@
+// Offline AFET profiling (Sec. IV-A1).
+//
+// With no measurement history, MRET cannot seed the admission test, so the
+// offline phase measures the Average Full-Load Execution Time: each stream
+// of the configured partition continuously runs jobs (the target task in one
+// stream, random others in the rest) and per-stage execution times are
+// averaged. The result is a pessimistic initial estimate that online MRET
+// replaces after the first window of observations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "daris/config.h"
+#include "dnn/model.h"
+#include "gpusim/gpu_spec.h"
+
+namespace daris::rt {
+
+struct AfetResult {
+  /// Mean per-stage execution time (us) under full load, per model.
+  std::map<const dnn::CompiledModel*, std::vector<double>> per_stage_us;
+
+  const std::vector<double>& for_model(const dnn::CompiledModel* m) const;
+};
+
+/// Runs a dedicated full-load simulation of the given partitioning and
+/// returns per-stage AFET for every distinct model.
+AfetResult profile_afet(const gpusim::GpuSpec& spec,
+                        const SchedulerConfig& config,
+                        const std::vector<const dnn::CompiledModel*>& models,
+                        int jobs_per_stream = 16,
+                        std::uint64_t seed = 0xAFE7ull);
+
+}  // namespace daris::rt

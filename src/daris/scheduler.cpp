@@ -1,0 +1,413 @@
+#include "daris/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/log.h"
+#include "gpusim/partition.h"
+
+namespace daris::rt {
+
+Scheduler::Scheduler(sim::Simulator& sim, gpusim::Gpu& gpu,
+                     SchedulerConfig config, metrics::Collector* collector)
+    : sim_(sim), gpu_(gpu), config_(config.canonicalize()),
+      collector_(collector) {
+  const auto quotas =
+      config_.policy == Policy::kStr
+          ? std::vector<int>{gpu_.spec().sm_count}
+          : gpusim::partition_quotas(gpu_.spec(), config_.num_contexts,
+                                     config_.oversubscription);
+  contexts_.resize(quotas.size());
+  for (std::size_t c = 0; c < quotas.size(); ++c) {
+    contexts_[c].gpu_ctx = gpu_.create_context(static_cast<double>(quotas[c]));
+    contexts_[c].streams.reserve(
+        static_cast<std::size_t>(config_.streams_per_context));
+    for (int s = 0; s < config_.streams_per_context; ++s) {
+      contexts_[c].streams.push_back(gpu_.create_stream(contexts_[c].gpu_ctx));
+      contexts_[c].stream_busy.push_back(false);
+    }
+  }
+}
+
+int Scheduler::add_task(const TaskSpec& spec, const dnn::CompiledModel* model) {
+  assert(model != nullptr && model->stage_count() > 0);
+  const int id = static_cast<int>(tasks_.size());
+  tasks_.push_back(std::make_unique<Task>(
+      id, spec, model, static_cast<std::size_t>(config_.mret_window)));
+  return id;
+}
+
+void Scheduler::set_afet(int task_id, const std::vector<double>& per_stage_us) {
+  task(task_id).mret().set_afet(per_stage_us);
+}
+
+void Scheduler::run_offline_phase() {
+  // Algorithm 1: HP tasks first, then LP tasks, each to the context with the
+  // least total utilisation so far.
+  std::vector<double> ctx_util(contexts_.size(), 0.0);
+  auto assign_all = [&](Priority p) {
+    for (auto& t : tasks_) {
+      if (t->spec().priority != p) continue;
+      const auto it = std::min_element(ctx_util.begin(), ctx_util.end());
+      const int ctx = static_cast<int>(it - ctx_util.begin());
+      t->set_context(ctx);
+      ctx_util[static_cast<std::size_t>(ctx)] += t->utilization();
+    }
+  };
+  assign_all(Priority::kHigh);
+  assign_all(Priority::kLow);
+}
+
+double Scheduler::hp_utilization(int ctx) const {
+  double u = 0.0;
+  for (const auto& t : tasks_) {
+    if (t->spec().priority == Priority::kHigh && t->context() == ctx) {
+      u += t->utilization();
+    }
+  }
+  return u;
+}
+
+double Scheduler::active_lp_utilization(int ctx) const {
+  return contexts_[static_cast<std::size_t>(ctx)].active_lp_util;
+}
+
+double Scheduler::remaining_utilization(int ctx) const {
+  return static_cast<double>(config_.streams_per_context) -
+         hp_utilization(ctx);
+}
+
+bool Scheduler::passes_admission(const Task& task, int ctx,
+                                 double util) const {
+  // Eq. 12: U^{l,a}_k(t) + u_j(t) < U^r_k(t). For HP jobs under
+  // Overload+HPA the job's own class utilisation already sits inside
+  // U^{h,t}_k, so charge the active-LP side with zero and test headroom.
+  const auto& rec = contexts_[static_cast<std::size_t>(ctx)];
+  if (task.spec().priority == Priority::kLow) {
+    return rec.active_lp_util + util < remaining_utilization(ctx);
+  }
+  // HPA: admit while the *currently active* admitted utilisation leaves
+  // room, so excess HP jobs are shed instead of queueing into lateness.
+  return rec.active_hp_util + rec.active_lp_util + util <=
+         static_cast<double>(config_.streams_per_context) + 1e-9;
+}
+
+double Scheduler::predicted_backlog_us(int ctx) const {
+  const auto& rec = contexts_[static_cast<std::size_t>(ctx)];
+  return rec.outstanding_work_us /
+         static_cast<double>(config_.streams_per_context);
+}
+
+void Scheduler::release_job(int task_id) {
+  Task& t = task(task_id);
+  const Time now = sim_.now();
+
+  metrics::JobEvent ev;
+  ev.task_id = task_id;
+  ev.priority = t.spec().priority;
+  ev.release = now;
+  ev.relative_deadline = t.spec().relative_deadline;
+  if (collector_) collector_->on_release(ev);
+
+  // Late assignment for tasks added after the offline phase.
+  if (t.context() < 0) t.set_context(0);
+
+  // Backlog guard: with D = T, a queued job behind an unfinished
+  // predecessor is all but doomed. LP jobs are shed as soon as their
+  // predecessor is still active (the admission test's spirit: reject what
+  // cannot meet its deadline); HP jobs are allowed a small backlog so that
+  // overload shows up as lateness rather than silent shedding (Fig. 11).
+  const int backlog_cap = t.spec().priority == Priority::kLow
+                              ? 1
+                              : config_.max_backlog_per_task;
+  if (t.active_jobs >= backlog_cap) {
+    if (collector_) collector_->on_reject(ev);
+    return;
+  }
+
+  const double util = t.utilization();
+  const bool needs_test = t.spec().priority == Priority::kLow
+                              ? config_.lp_admission
+                              : config_.hp_admission;
+  int target_ctx = t.context();
+
+  if (needs_test && !passes_admission(t, target_ctx, util)) {
+    if (t.spec().priority == Priority::kLow) {
+      // Migration candidates: every other context that passes Eq. 12,
+      // earliest predicted finish first.
+      int best = -1;
+      double best_backlog = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < num_contexts(); ++c) {
+        if (c == target_ctx) continue;
+        if (!passes_admission(t, c, util)) continue;
+        const double backlog = predicted_backlog_us(c);
+        if (backlog < best_backlog) {
+          best_backlog = backlog;
+          best = c;
+        }
+      }
+      if (best < 0) {
+        if (collector_) collector_->on_reject(ev);
+        return;
+      }
+      ++migrations_;
+      t.set_context(best);  // ctx_i(t) moves with the task (zero-delay)
+      target_ctx = best;
+    } else {
+      if (collector_) collector_->on_reject(ev);
+      return;
+    }
+  }
+
+  auto jr = std::make_unique<JobRuntime>();
+  jr->job.task = &t;
+  jr->job.job_id = next_job_id_++;
+  jr->job.release = now;
+  jr->job.absolute_deadline = now + t.spec().relative_deadline;
+  jr->job.context = target_ctx;
+  jr->job.admitted_utilization = util;
+
+  // Freeze virtual deadlines from the current MRET shares (Eq. 8). The last
+  // stage absorbs rounding so it lands exactly on the job deadline.
+  const auto shares =
+      t.mret().virtual_deadlines(t.spec().relative_deadline);
+  jr->job.stage_deadlines.resize(shares.size());
+  Time acc = now;
+  for (std::size_t j = 0; j + 1 < shares.size(); ++j) {
+    acc += shares[j];
+    jr->job.stage_deadlines[j] = acc;
+  }
+  jr->job.stage_deadlines.back() = jr->job.absolute_deadline;
+
+  admit(t, target_ctx, std::move(jr));
+}
+
+void Scheduler::admit(Task& t, int ctx, std::unique_ptr<JobRuntime> jr) {
+  auto& rec = contexts_[static_cast<std::size_t>(ctx)];
+  if (t.spec().priority == Priority::kLow) {
+    rec.active_lp_util += jr->job.admitted_utilization;
+  } else {
+    rec.active_hp_util += jr->job.admitted_utilization;
+  }
+  rec.outstanding_work_us += t.mret().total_mret_us();
+  ++t.active_jobs;
+
+  Job* job = &jr->job;
+  jobs_.emplace(jr->job.job_id, std::move(jr));
+  if (!config_.staging) {
+    // "No Staging" (Fig. 8): without synchronisation points the host never
+    // learns when the GPU finishes a job, so it cannot hold work in a ready
+    // queue — every admitted job is enqueued eagerly into a stream FIFO at
+    // release time and priorities cannot reorder it afterwards.
+    dispatch_eager(ctx, job);
+    return;
+  }
+  enqueue_stage(job, 0, /*prev_missed=*/false);
+  try_dispatch(ctx);
+}
+
+void Scheduler::dispatch_eager(int ctx, Job* job) {
+  auto& rec = contexts_[static_cast<std::size_t>(ctx)];
+  // FIFO into the shallowest stream of the context.
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < rec.streams.size(); ++s) {
+    if (gpu_.stream_depth(rec.streams[s]) <
+        gpu_.stream_depth(rec.streams[best])) {
+      best = s;
+    }
+  }
+  const gpusim::StreamId stream = rec.streams[best];
+  Task& t = *job->task;
+  const std::uint64_t id = job->job_id;
+  // Without syncs the host only observes completion callbacks, so stage
+  // execution "measurements" are callback-to-callback deltas; the first one
+  // absorbs the whole FIFO queueing delay (degraded MRET quality is part of
+  // what staging buys back).
+  auto last_done = std::make_shared<Time>(sim_.now());
+  for (std::size_t j = 0; j < t.num_stages(); ++j) {
+    const double mret_pred = t.mret().stage_mret_us(j);
+    for (const auto& k : t.model().stages[j].kernels) {
+      gpu_.launch_kernel(stream, k);
+    }
+    gpu_.enqueue_callback(stream, [this, ctx, id, j, last_done, mret_pred] {
+      const Time begin = *last_done;
+      *last_done = sim_.now();
+      on_stage_complete(ctx, /*stream_idx=*/0, id, j, begin, mret_pred,
+                        /*frees_stream=*/false);
+    });
+  }
+}
+
+void Scheduler::enqueue_stage(Job* job, std::size_t stage, bool prev_missed) {
+  Task& t = *job->task;
+  const std::size_t n = t.num_stages();
+  ReadyStage rs;
+  rs.job = job;
+  rs.stage = stage;
+  const bool is_last =
+      config_.staging ? (stage == n - 1) : true;  // whole job acts as last
+  rs.level = stage_level(config_, t.spec().priority, is_last, prev_missed);
+  rs.deadline = config_.staging ? job->stage_deadlines[stage]
+                                : job->absolute_deadline;
+  contexts_[static_cast<std::size_t>(job->context)].ready.push(rs);
+}
+
+void Scheduler::try_dispatch(int ctx) {
+  auto& rec = contexts_[static_cast<std::size_t>(ctx)];
+  while (!rec.ready.empty()) {
+    int idle = -1;
+    for (std::size_t s = 0; s < rec.stream_busy.size(); ++s) {
+      if (!rec.stream_busy[s]) {
+        idle = static_cast<int>(s);
+        break;
+      }
+    }
+    if (idle < 0) return;
+    dispatch(ctx, idle, rec.ready.pop());
+  }
+}
+
+void Scheduler::dispatch(int ctx, int stream_idx, const ReadyStage& ready) {
+  auto& rec = contexts_[static_cast<std::size_t>(ctx)];
+  rec.stream_busy[static_cast<std::size_t>(stream_idx)] = true;
+  Job* job = ready.job;
+  Task& t = *job->task;
+  const gpusim::StreamId stream =
+      rec.streams[static_cast<std::size_t>(stream_idx)];
+  const Time dispatch_time = sim_.now();
+
+  // One stage per dispatch; the trailing callback is the synchronisation
+  // point that lets a higher-priority stage take the stream.
+  const std::size_t j = ready.stage;
+  const double mret_pred = t.mret().stage_mret_us(j);
+  for (const auto& k : t.model().stages[j].kernels) {
+    gpu_.launch_kernel(stream, k);
+  }
+  const std::uint64_t id = job->job_id;
+  gpu_.enqueue_callback(stream, [this, ctx, stream_idx, id, j, dispatch_time,
+                                 mret_pred] {
+    on_stage_complete(ctx, stream_idx, id, j, dispatch_time, mret_pred,
+                      /*frees_stream=*/true);
+  });
+}
+
+void Scheduler::on_stage_complete(int ctx, int stream_idx,
+                                  std::uint64_t job_id, std::size_t stage,
+                                  Time dispatch_time, double mret_at_dispatch,
+                                  bool frees_stream) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  JobRuntime& jr = *it->second;
+  Job& job = jr.job;
+  Task& t = *job.task;
+  const Time now = sim_.now();
+  auto& rec = contexts_[static_cast<std::size_t>(ctx)];
+
+  // Record et_{i,j} into the MRET window (Eq. 1).
+  const double et_us = common::to_us(now - dispatch_time);
+  t.mret().record(stage, et_us);
+  if (collector_) {
+    metrics::StageEvent sev;
+    sev.task_id = t.id();
+    sev.stage = stage;
+    sev.when = now;
+    sev.execution_us = et_us;
+    sev.mret_us = mret_at_dispatch;
+    collector_->on_stage(sev);
+  }
+
+  rec.outstanding_work_us = std::max(
+      0.0, rec.outstanding_work_us - t.mret().stage_mret_us(stage));
+
+  const bool missed_virtual = now > job.stage_deadlines[stage];
+  job.next_stage = stage + 1;
+  job.prev_stage_missed = missed_virtual;
+
+  const bool job_done = stage + 1 >= t.num_stages();
+  // HP jobs keep their stream across the sync gap so a ready LP stage
+  // cannot interpose a whole stage between two HP stages.
+  const bool hold_stream = frees_stream && !job_done && config_.staging &&
+                           config_.hp_stream_hold &&
+                           t.spec().priority == Priority::kHigh;
+
+  if (frees_stream && !hold_stream) {
+    rec.stream_busy[static_cast<std::size_t>(stream_idx)] = false;
+  }
+
+  if (job_done) {
+    finish_job(jr);
+    jobs_.erase(it);
+  } else if (config_.staging) {
+    // The next stage becomes ready after the host sync wake-up.
+    Job* jp = &job;
+    sim_.schedule_after(
+        common::from_us(gpu_.spec().sync_overhead_us),
+        [this, job_id, jp, ctx, stream_idx, stage, missed_virtual,
+         hold_stream] {
+          if (jobs_.find(job_id) == jobs_.end()) return;
+          if (hold_stream) {
+            // The held stream is *contested*: the HP job's next stage keeps
+            // it unless the context queue's head outranks it under the same
+            // level/EDF order (so an HP job finishing its boosted last
+            // stage, or a miss-boosted stage, can still take over — which
+            // is what the No Last / No Prior ablations remove).
+            auto& rec = contexts_[static_cast<std::size_t>(ctx)];
+            Task& t = *jp->task;
+            const bool is_last = stage + 2 >= t.num_stages();
+            const int level = stage_level(config_, t.spec().priority, is_last,
+                                          missed_virtual);
+            const Time deadline = jp->stage_deadlines[stage + 1];
+            const bool preempted =
+                !rec.ready.empty() &&
+                (rec.ready.peek().level < level ||
+                 (rec.ready.peek().level == level &&
+                  rec.ready.peek().deadline < deadline));
+            if (!preempted) {
+              ReadyStage rs;
+              rs.job = jp;
+              rs.stage = stage + 1;
+              rec.stream_busy[static_cast<std::size_t>(stream_idx)] = false;
+              dispatch(ctx, stream_idx, rs);
+              return;
+            }
+            rec.stream_busy[static_cast<std::size_t>(stream_idx)] = false;
+          }
+          enqueue_stage(jp, stage + 1, missed_virtual);
+          try_dispatch(jp->context);
+        });
+  }
+
+  if (frees_stream && !hold_stream) try_dispatch(ctx);
+}
+
+void Scheduler::finish_job(JobRuntime& jr) {
+  Job& job = jr.job;
+  Task& t = *job.task;
+  const Time now = sim_.now();
+  auto& rec = contexts_[static_cast<std::size_t>(job.context)];
+
+  if (t.spec().priority == Priority::kLow) {
+    rec.active_lp_util =
+        std::max(0.0, rec.active_lp_util - job.admitted_utilization);
+  } else {
+    rec.active_hp_util =
+        std::max(0.0, rec.active_hp_util - job.admitted_utilization);
+  }
+  --t.active_jobs;
+  ++jobs_completed_;
+
+  if (collector_) {
+    metrics::JobEvent ev;
+    ev.task_id = t.id();
+    ev.priority = t.spec().priority;
+    ev.release = job.release;
+    ev.finish = now;
+    ev.relative_deadline = t.spec().relative_deadline;
+    ev.missed = now > job.absolute_deadline;
+    ev.context = job.context;
+    collector_->on_finish(ev);
+  }
+}
+
+}  // namespace daris::rt

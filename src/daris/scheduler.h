@@ -1,0 +1,124 @@
+// The DARIS real-time scheduler (Sec. IV).
+//
+// Offline phase: AFET-seeded utilisations are balanced across contexts with
+// Algorithm 1 (HP tasks first, then LP tasks, each to the least-utilised
+// context). HP tasks keep fixed contexts; LP tasks may migrate.
+//
+// Online phase: each released LP job takes the utilisation-based admission
+// test (Eq. 11-12) against its context; failing that, other contexts are
+// tried as migration targets (earliest predicted finish first) and the job
+// is rejected if none passes. Admitted jobs execute stage by stage: a ready
+// stage enters its context's 8-level EDF queue and is dispatched to the
+// first idle stream; the synchronisation point at each stage boundary is the
+// paper's coarse-grained preemption mechanism ("staging").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "daris/config.h"
+#include "daris/stage_queue.h"
+#include "daris/task.h"
+#include "gpusim/gpu.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+
+namespace daris::rt {
+
+class Scheduler {
+ public:
+  /// Creates contexts/streams on `gpu` according to `config` (Eq. 9 quotas).
+  Scheduler(sim::Simulator& sim, gpusim::Gpu& gpu, SchedulerConfig config,
+            metrics::Collector* collector);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  const SchedulerConfig& config() const { return config_; }
+
+  /// Registers a task; the compiled model must outlive the scheduler.
+  /// Returns the task id.
+  int add_task(const TaskSpec& spec, const dnn::CompiledModel* model);
+
+  /// Seeds the task's MRET estimator with offline AFET values (Eq. 10).
+  void set_afet(int task_id, const std::vector<double>& per_stage_us);
+
+  /// Algorithm 1: initial context assignment balancing utilisation.
+  void run_offline_phase();
+
+  /// Releases one job of the task (called by the periodic driver).
+  void release_job(int task_id);
+
+  Task& task(int id) { return *tasks_[static_cast<std::size_t>(id)]; }
+  const Task& task(int id) const {
+    return *tasks_[static_cast<std::size_t>(id)];
+  }
+  int task_count() const { return static_cast<int>(tasks_.size()); }
+  int num_contexts() const { return static_cast<int>(contexts_.size()); }
+
+  /// Total HP utilisation U^{h,t}_k(t) of a context (Eq. 4).
+  double hp_utilization(int ctx) const;
+
+  /// Active LP utilisation U^{l,a}_k(t) (Sec. III-B3).
+  double active_lp_utilization(int ctx) const;
+
+  /// Remaining utilisation U^r_k(t) = Ns - U^{h,t}_k(t) (Eq. 11).
+  double remaining_utilization(int ctx) const;
+
+  /// Jobs currently admitted but unfinished.
+  std::size_t jobs_in_flight() const { return jobs_.size(); }
+
+  /// Completed-job counter (all priorities, includes warm-up).
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+  /// Migration counter (LP jobs admitted to a context other than ctx_i).
+  std::uint64_t migrations() const { return migrations_; }
+
+ private:
+  struct ContextRec {
+    gpusim::ContextId gpu_ctx = -1;
+    std::vector<gpusim::StreamId> streams;
+    std::vector<bool> stream_busy;
+    StageQueue ready;
+    double active_lp_util = 0.0;
+    double active_hp_util = 0.0;  // used by the Overload+HPA admission test
+    double outstanding_work_us = 0.0;  // predicted-finish proxy
+  };
+
+  struct JobRuntime {
+    Job job;
+    Time stage_dispatch_time = 0;
+    double stage_mret_at_dispatch = 0.0;
+  };
+
+  void admit(Task& task, int ctx, std::unique_ptr<JobRuntime> jr);
+  bool passes_admission(const Task& task, int ctx, double util) const;
+  /// Predicted completion of the context's backlog (migration tie-break).
+  double predicted_backlog_us(int ctx) const;
+
+  void enqueue_stage(Job* job, std::size_t stage, bool prev_missed);
+  /// "No Staging" path: whole job straight into a stream FIFO at release.
+  void dispatch_eager(int ctx, Job* job);
+  void try_dispatch(int ctx);
+  void dispatch(int ctx, int stream_idx, const ReadyStage& ready);
+  void on_stage_complete(int ctx, int stream_idx, std::uint64_t job_id,
+                         std::size_t stage, Time dispatch_time,
+                         double mret_at_dispatch, bool frees_stream);
+  void finish_job(JobRuntime& jr);
+
+  sim::Simulator& sim_;
+  gpusim::Gpu& gpu_;
+  SchedulerConfig config_;
+  metrics::Collector* collector_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<ContextRec> contexts_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<JobRuntime>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace daris::rt

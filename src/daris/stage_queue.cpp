@@ -1,0 +1,37 @@
+#include "daris/stage_queue.h"
+
+namespace daris::rt {
+
+int stage_level(const SchedulerConfig& config, Priority priority,
+                bool is_last_stage, bool prev_stage_missed) {
+  // "No Fixed": a single EDF band across all stages and priorities.
+  if (!config.fixed_levels) return 0;
+
+  const int base = priority == Priority::kHigh ? 0 : 4;
+  const bool last = is_last_stage && config.prioritize_last_stage;
+  const bool missed = prev_stage_missed && config.boost_after_miss;
+  int sub;
+  if (last && missed) {
+    sub = 0;
+  } else if (last) {
+    sub = 1;
+  } else if (missed) {
+    sub = 2;
+  } else {
+    sub = 3;
+  }
+  return base + sub;
+}
+
+void StageQueue::push(ReadyStage stage) {
+  stage.seq = next_seq_++;
+  heap_.push(stage);
+}
+
+ReadyStage StageQueue::pop() {
+  ReadyStage top = heap_.top();
+  heap_.pop();
+  return top;
+}
+
+}  // namespace daris::rt

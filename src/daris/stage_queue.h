@@ -1,0 +1,54 @@
+// Ready-stage priority queue (Sec. IV-B2).
+//
+// The paper extends the two task priorities to eight fixed stage levels:
+// {HP, LP} x {last+missed, last, missed-predecessor, normal}, with EDF on
+// the stage's virtual deadline inside each level. The Fig. 8 ablations
+// collapse parts of this hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+#include "daris/config.h"
+#include "daris/task.h"
+
+namespace daris::rt {
+
+/// A stage of a specific job that is ready to be dispatched.
+struct ReadyStage {
+  Job* job = nullptr;
+  std::size_t stage = 0;
+  int level = 0;          // 0 = highest
+  Time deadline = 0;      // EDF key (absolute virtual deadline)
+  std::uint64_t seq = 0;  // FIFO tie-break for determinism
+};
+
+/// Computes the fixed level of a ready stage under the given config.
+int stage_level(const SchedulerConfig& config, Priority priority,
+                bool is_last_stage, bool prev_stage_missed);
+
+class StageQueue {
+ public:
+  void push(ReadyStage stage);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Highest level, earliest deadline first.
+  ReadyStage pop();
+  const ReadyStage& peek() const { return heap_.top(); }
+
+ private:
+  struct Worse {
+    bool operator()(const ReadyStage& a, const ReadyStage& b) const {
+      if (a.level != b.level) return a.level > b.level;
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<ReadyStage, std::vector<ReadyStage>, Worse> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace daris::rt

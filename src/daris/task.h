@@ -1,0 +1,90 @@
+// Task and job model (Sec. III-A).
+//
+// A task tau_i(T_i, D_i, mret_i(t), p_i, ctx_i(t)) is a periodic DNN with
+// n_i sequential stages. A job is one release of the task; each job walks
+// the task's stages in order, with per-stage virtual deadlines (Eq. 8)
+// frozen at admission time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/priority.h"
+#include "common/time.h"
+#include "daris/mret.h"
+#include "dnn/model.h"
+#include "dnn/zoo.h"
+
+namespace daris::rt {
+
+using common::Duration;
+using common::Priority;
+using common::Time;
+
+struct TaskSpec {
+  dnn::ModelKind model = dnn::ModelKind::kResNet18;
+  Duration period = 0;             // T_i
+  Duration relative_deadline = 0;  // D_i (= T_i in the paper)
+  Priority priority = Priority::kHigh;
+  /// Release phase offset in [0, T_i); staggers periodic task sets.
+  Duration phase = 0;
+};
+
+class Task;
+
+/// One release of a task.
+struct Job {
+  Task* task = nullptr;
+  std::uint64_t job_id = 0;
+  Time release = 0;
+  Time absolute_deadline = 0;
+  /// Absolute virtual deadline per stage, frozen at admission (Eq. 8).
+  std::vector<Time> stage_deadlines;
+  std::size_t next_stage = 0;
+  /// Virtual-deadline miss of the previous stage (drives priority boost).
+  bool prev_stage_missed = false;
+  /// Utilisation u_i(t) charged by the admission test while active.
+  double admitted_utilization = 0.0;
+  int context = -1;
+};
+
+class Task {
+ public:
+  Task(int id, TaskSpec spec, const dnn::CompiledModel* model,
+       std::size_t mret_window)
+      : id_(id),
+        spec_(spec),
+        model_(model),
+        mret_(model->stage_count(), mret_window) {}
+
+  int id() const { return id_; }
+  const TaskSpec& spec() const { return spec_; }
+  const dnn::CompiledModel& model() const { return *model_; }
+  std::size_t num_stages() const { return model_->stage_count(); }
+
+  MretEstimator& mret() { return mret_; }
+  const MretEstimator& mret() const { return mret_; }
+
+  /// Utilisation u_i(t) = mret_i(t) / T_i (Eq. 3 / Eq. 10).
+  double utilization() const {
+    return mret_.total_mret_us() /
+           common::to_us(spec_.period > 0 ? spec_.period : 1);
+  }
+
+  /// Current context assignment ctx_i(t).
+  int context() const { return context_; }
+  void set_context(int ctx) { context_ = ctx; }
+
+  /// Number of this task's jobs currently admitted but unfinished.
+  int active_jobs = 0;
+
+ private:
+  int id_;
+  TaskSpec spec_;
+  const dnn::CompiledModel* model_;
+  MretEstimator mret_;
+  int context_ = -1;
+};
+
+}  // namespace daris::rt

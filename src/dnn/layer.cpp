@@ -1,0 +1,133 @@
+#include "dnn/layer.h"
+
+namespace daris::dnn {
+
+namespace {
+constexpr double kBytesPerElem = 4.0;  // fp32
+
+double hw_out(int in_hw, int stride) {
+  return static_cast<double>(stride == 1 ? in_hw : in_hw / stride);
+}
+}  // namespace
+
+LayerDesc conv2d(const std::string& name, int in_hw, int in_c, int out_c,
+                 int kernel, int stride) {
+  LayerDesc l;
+  l.name = name;
+  const double out_hw = hw_out(in_hw, stride);
+  const double macs = out_hw * out_hw * static_cast<double>(out_c) *
+                      static_cast<double>(in_c) *
+                      static_cast<double>(kernel * kernel);
+  l.flops = 2.0 * macs;
+  l.out_elems = out_hw * out_hw * static_cast<double>(out_c);
+  const double in_elems =
+      static_cast<double>(in_hw) * in_hw * static_cast<double>(in_c);
+  l.act_bytes = (in_elems + l.out_elems) * kBytesPerElem;
+  l.weight_bytes = static_cast<double>(kernel * kernel) * in_c * out_c *
+                   kBytesPerElem;
+  return l;
+}
+
+LayerDesc conv2d_rect(const std::string& name, int in_hw, int in_c, int out_c,
+                      int kh, int kw) {
+  LayerDesc l;
+  l.name = name;
+  const double out_hw = static_cast<double>(in_hw);
+  const double macs = out_hw * out_hw * static_cast<double>(out_c) *
+                      static_cast<double>(in_c) * static_cast<double>(kh * kw);
+  l.flops = 2.0 * macs;
+  l.out_elems = out_hw * out_hw * static_cast<double>(out_c);
+  const double in_elems =
+      static_cast<double>(in_hw) * in_hw * static_cast<double>(in_c);
+  l.act_bytes = (in_elems + l.out_elems) * kBytesPerElem;
+  l.weight_bytes = static_cast<double>(kh * kw) * in_c * out_c * kBytesPerElem;
+  return l;
+}
+
+LayerDesc pool2d(const std::string& name, int in_hw, int channels, int kernel,
+                 int stride) {
+  LayerDesc l;
+  l.name = name;
+  const double out_hw = hw_out(in_hw, stride);
+  l.out_elems = out_hw * out_hw * static_cast<double>(channels);
+  // One compare/add per window element.
+  l.flops = l.out_elems * static_cast<double>(kernel * kernel);
+  const double in_elems =
+      static_cast<double>(in_hw) * in_hw * static_cast<double>(channels);
+  l.act_bytes = (in_elems + l.out_elems) * kBytesPerElem;
+  l.weight_bytes = 0.0;
+  return l;
+}
+
+LayerDesc global_pool(const std::string& name, int in_hw, int channels) {
+  LayerDesc l;
+  l.name = name;
+  l.out_elems = static_cast<double>(channels);
+  const double in_elems =
+      static_cast<double>(in_hw) * in_hw * static_cast<double>(channels);
+  l.flops = in_elems;
+  l.act_bytes = (in_elems + l.out_elems) * kBytesPerElem;
+  return l;
+}
+
+LayerDesc fc(const std::string& name, int in_features, int out_features) {
+  LayerDesc l;
+  l.name = name;
+  l.flops = 2.0 * static_cast<double>(in_features) * out_features;
+  l.out_elems = static_cast<double>(out_features);
+  l.act_bytes =
+      (static_cast<double>(in_features) + out_features) * kBytesPerElem;
+  l.weight_bytes =
+      static_cast<double>(in_features) * out_features * kBytesPerElem;
+  return l;
+}
+
+LayerDesc upconv2x(const std::string& name, int in_hw, int in_c, int out_c) {
+  LayerDesc l;
+  l.name = name;
+  const double out_hw = static_cast<double>(in_hw) * 2.0;
+  const double macs = out_hw * out_hw * static_cast<double>(out_c) *
+                      static_cast<double>(in_c) * 4.0;  // 2x2 kernel
+  l.flops = 2.0 * macs;
+  l.out_elems = out_hw * out_hw * static_cast<double>(out_c);
+  const double in_elems =
+      static_cast<double>(in_hw) * in_hw * static_cast<double>(in_c);
+  l.act_bytes = (in_elems + l.out_elems) * kBytesPerElem;
+  l.weight_bytes = 4.0 * in_c * out_c * kBytesPerElem;
+  return l;
+}
+
+LayerDesc concat(const std::string& name, int hw, int total_channels) {
+  LayerDesc l;
+  l.name = name;
+  l.out_elems =
+      static_cast<double>(hw) * hw * static_cast<double>(total_channels);
+  l.flops = l.out_elems;  // copy cost proxy
+  l.act_bytes = 2.0 * l.out_elems * kBytesPerElem;
+  return l;
+}
+
+LayerDesc residual_add(const std::string& name, int hw, int channels) {
+  LayerDesc l;
+  l.name = name;
+  l.out_elems = static_cast<double>(hw) * hw * static_cast<double>(channels);
+  l.flops = l.out_elems;
+  l.act_bytes = 3.0 * l.out_elems * kBytesPerElem;
+  return l;
+}
+
+std::size_t NetworkDef::layer_count() const {
+  std::size_t n = 0;
+  for (const auto& s : stages) n += s.layers.size();
+  return n;
+}
+
+double NetworkDef::total_flops() const {
+  double f = 0.0;
+  for (const auto& s : stages) {
+    for (const auto& l : s.layers) f += l.flops;
+  }
+  return f;
+}
+
+}  // namespace daris::dnn

@@ -1,0 +1,66 @@
+// Layer-level IR for the DNN substrate.
+//
+// Each layer records the analytic quantities the kernel cost model needs:
+// FLOPs (compute), activation & weight traffic (memory), and output tensor
+// size (available parallelism). Builders below mirror the real layer shapes
+// of the paper's benchmark networks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace daris::dnn {
+
+struct LayerDesc {
+  std::string name;
+  double flops = 0.0;         // 2 * MACs
+  double act_bytes = 0.0;     // input + output activations (fp32), batch 1
+  double weight_bytes = 0.0;  // parameters (not scaled by batch)
+  double out_elems = 0.0;     // output tensor elements, batch 1
+};
+
+/// 2-D convolution with square kernel and "same" padding unless stride > 1,
+/// in which case the output is in_hw / stride (floor). BN + activation are
+/// folded into the conv kernel, as inference frameworks fuse them.
+LayerDesc conv2d(const std::string& name, int in_hw, int in_c, int out_c,
+                 int kernel, int stride = 1);
+
+/// Rectangular convolution (for InceptionV3's 1x7 / 7x1 factorisations).
+LayerDesc conv2d_rect(const std::string& name, int in_hw, int in_c, int out_c,
+                      int kh, int kw);
+
+/// Max or average pooling.
+LayerDesc pool2d(const std::string& name, int in_hw, int channels, int kernel,
+                 int stride);
+
+/// Global average pooling down to 1x1.
+LayerDesc global_pool(const std::string& name, int in_hw, int channels);
+
+/// Fully connected layer.
+LayerDesc fc(const std::string& name, int in_features, int out_features);
+
+/// 2x-upsampling transposed convolution (UNet decoder).
+LayerDesc upconv2x(const std::string& name, int in_hw, int in_c, int out_c);
+
+/// Channel concatenation (UNet skip connections) — pure memory traffic.
+LayerDesc concat(const std::string& name, int hw, int total_channels);
+
+/// Elementwise residual add (ResNet shortcuts) — pure memory traffic.
+LayerDesc residual_add(const std::string& name, int hw, int channels);
+
+/// A stage is a logical segment of the network: DARIS inserts its
+/// synchronisation points (coarse-grained preemption) at stage boundaries.
+struct StageDef {
+  std::string name;
+  std::vector<LayerDesc> layers;
+};
+
+struct NetworkDef {
+  std::string name;
+  std::vector<StageDef> stages;
+
+  std::size_t layer_count() const;
+  double total_flops() const;
+};
+
+}  // namespace daris::dnn

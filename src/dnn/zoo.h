@@ -1,0 +1,44 @@
+// Benchmark networks used by the paper (ResNet18/50, UNet, InceptionV3) and
+// their calibrated lowerings.
+#pragma once
+
+#include <string>
+
+#include "dnn/layer.h"
+#include "dnn/model.h"
+#include "gpusim/gpu_spec.h"
+
+namespace daris::dnn {
+
+enum class ModelKind { kResNet18, kResNet50, kUNet, kInceptionV3 };
+
+/// Human-readable model name ("ResNet18", ...).
+const char* model_name(ModelKind kind);
+
+/// Layer graphs with the paper's stage partitioning (4 logical stages each;
+/// ResNet's four residual super-blocks, UNet's encoder/decoder halves,
+/// InceptionV3's stem/A/B/C sections).
+NetworkDef resnet18();
+NetworkDef resnet50();
+NetworkDef unet();
+NetworkDef inception_v3();
+NetworkDef network(ModelKind kind);
+
+/// Paper-reported single-stream and best-batching throughput (Table I).
+struct Table1Reference {
+  double min_jps;
+  double max_jps;
+  double batching_gain;
+};
+Table1Reference table1_reference(ModelKind kind);
+
+/// Lowering parameters calibrated so the simulated GPU reproduces Table I's
+/// min JPS (single-stream latency) and max JPS (best batched throughput).
+/// Results are computed once per (model, spec) and cached.
+LoweringParams calibrated_params(ModelKind kind, const gpusim::GpuSpec& spec);
+
+/// Convenience: calibrated network lowered at the given batch size.
+CompiledModel compiled_model(ModelKind kind, int batch,
+                             const gpusim::GpuSpec& spec);
+
+}  // namespace daris::dnn

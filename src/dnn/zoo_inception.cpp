@@ -1,0 +1,114 @@
+// InceptionV3 layer graph (Szegedy et al., CVPR 2016) at its canonical
+// 299x299x3 input. The many small per-branch convolutions are what give
+// InceptionV3 both its 3.13x batching gain (Table I) and its inability to
+// fill the GPU from a single stream (Sec. VI: only 87% of the batched upper
+// baseline without batching).
+#include "dnn/zoo.h"
+
+namespace daris::dnn {
+
+namespace {
+
+/// Inception-A block at 35x35: 1x1 / 5x5 / double-3x3 / pool branches.
+void inception_a(StageDef& s, const std::string& p, int in_c, int pool_c) {
+  s.layers.push_back(conv2d(p + ".b1.1x1", 35, in_c, 64, 1));
+  s.layers.push_back(conv2d(p + ".b2.1x1", 35, in_c, 48, 1));
+  s.layers.push_back(conv2d(p + ".b2.5x5", 35, 48, 64, 5));
+  s.layers.push_back(conv2d(p + ".b3.1x1", 35, in_c, 64, 1));
+  s.layers.push_back(conv2d(p + ".b3.3x3a", 35, 64, 96, 3));
+  s.layers.push_back(conv2d(p + ".b3.3x3b", 35, 96, 96, 3));
+  s.layers.push_back(pool2d(p + ".b4.pool", 35, in_c, 3, 1));
+  s.layers.push_back(conv2d(p + ".b4.1x1", 35, in_c, pool_c, 1));
+}
+
+/// Reduction-A: 35x35 -> 17x17.
+void reduction_a(StageDef& s, const std::string& p, int in_c) {
+  s.layers.push_back(conv2d(p + ".b1.3x3s2", 35, in_c, 384, 3, 2));
+  s.layers.push_back(conv2d(p + ".b2.1x1", 35, in_c, 64, 1));
+  s.layers.push_back(conv2d(p + ".b2.3x3", 35, 64, 96, 3));
+  s.layers.push_back(conv2d(p + ".b2.3x3s2", 35, 96, 96, 3, 2));
+  s.layers.push_back(pool2d(p + ".b3.pool", 35, in_c, 3, 2));
+}
+
+/// Inception-B block at 17x17 with 7x7 factorised branches.
+void inception_b(StageDef& s, const std::string& p, int in_c, int mid_c) {
+  s.layers.push_back(conv2d(p + ".b1.1x1", 17, in_c, 192, 1));
+  s.layers.push_back(conv2d(p + ".b2.1x1", 17, in_c, mid_c, 1));
+  s.layers.push_back(conv2d_rect(p + ".b2.1x7", 17, mid_c, mid_c, 1, 7));
+  s.layers.push_back(conv2d_rect(p + ".b2.7x1", 17, mid_c, 192, 7, 1));
+  s.layers.push_back(conv2d(p + ".b3.1x1", 17, in_c, mid_c, 1));
+  s.layers.push_back(conv2d_rect(p + ".b3.7x1a", 17, mid_c, mid_c, 7, 1));
+  s.layers.push_back(conv2d_rect(p + ".b3.1x7a", 17, mid_c, mid_c, 1, 7));
+  s.layers.push_back(conv2d_rect(p + ".b3.7x1b", 17, mid_c, mid_c, 7, 1));
+  s.layers.push_back(conv2d_rect(p + ".b3.1x7b", 17, mid_c, 192, 1, 7));
+  s.layers.push_back(pool2d(p + ".b4.pool", 17, in_c, 3, 1));
+  s.layers.push_back(conv2d(p + ".b4.1x1", 17, in_c, 192, 1));
+}
+
+/// Reduction-B: 17x17 -> 8x8.
+void reduction_b(StageDef& s, const std::string& p, int in_c) {
+  s.layers.push_back(conv2d(p + ".b1.1x1", 17, in_c, 192, 1));
+  s.layers.push_back(conv2d(p + ".b1.3x3s2", 17, 192, 320, 3, 2));
+  s.layers.push_back(conv2d(p + ".b2.1x1", 17, in_c, 192, 1));
+  s.layers.push_back(conv2d_rect(p + ".b2.1x7", 17, 192, 192, 1, 7));
+  s.layers.push_back(conv2d_rect(p + ".b2.7x1", 17, 192, 192, 7, 1));
+  s.layers.push_back(conv2d(p + ".b2.3x3s2", 17, 192, 192, 3, 2));
+  s.layers.push_back(pool2d(p + ".b3.pool", 17, in_c, 3, 2));
+}
+
+/// Inception-C block at 8x8 with 3x3 split branches.
+void inception_c(StageDef& s, const std::string& p, int in_c) {
+  s.layers.push_back(conv2d(p + ".b1.1x1", 8, in_c, 320, 1));
+  s.layers.push_back(conv2d(p + ".b2.1x1", 8, in_c, 384, 1));
+  s.layers.push_back(conv2d_rect(p + ".b2.1x3", 8, 384, 384, 1, 3));
+  s.layers.push_back(conv2d_rect(p + ".b2.3x1", 8, 384, 384, 3, 1));
+  s.layers.push_back(conv2d(p + ".b3.1x1", 8, in_c, 448, 1));
+  s.layers.push_back(conv2d(p + ".b3.3x3", 8, 448, 384, 3));
+  s.layers.push_back(conv2d_rect(p + ".b3.1x3", 8, 384, 384, 1, 3));
+  s.layers.push_back(conv2d_rect(p + ".b3.3x1", 8, 384, 384, 3, 1));
+  s.layers.push_back(pool2d(p + ".b4.pool", 8, in_c, 3, 1));
+  s.layers.push_back(conv2d(p + ".b4.1x1", 8, in_c, 192, 1));
+}
+
+}  // namespace
+
+NetworkDef inception_v3() {
+  NetworkDef net;
+  net.name = "InceptionV3";
+
+  StageDef s1{"stem", {}};
+  s1.layers.push_back(conv2d("stem.conv1", 299, 3, 32, 3, 2));
+  s1.layers.push_back(conv2d("stem.conv2", 149, 32, 32, 3));
+  s1.layers.push_back(conv2d("stem.conv3", 149, 32, 64, 3));
+  s1.layers.push_back(pool2d("stem.pool1", 147, 64, 3, 2));
+  s1.layers.push_back(conv2d("stem.conv4", 73, 64, 80, 1));
+  s1.layers.push_back(conv2d("stem.conv5", 73, 80, 192, 3));
+  s1.layers.push_back(pool2d("stem.pool2", 71, 192, 3, 2));
+  net.stages.push_back(std::move(s1));
+
+  StageDef s2{"inceptionA", {}};
+  inception_a(s2, "mixed0", 192, 32);
+  inception_a(s2, "mixed1", 256, 64);
+  inception_a(s2, "mixed2", 288, 64);
+  reduction_a(s2, "mixed3", 288);
+  net.stages.push_back(std::move(s2));
+
+  StageDef s3{"inceptionB", {}};
+  inception_b(s3, "mixed4", 768, 128);
+  inception_b(s3, "mixed5", 768, 160);
+  inception_b(s3, "mixed6", 768, 160);
+  inception_b(s3, "mixed7", 768, 192);
+  reduction_b(s3, "mixed8", 768);
+  net.stages.push_back(std::move(s3));
+
+  StageDef s4{"inceptionC+head", {}};
+  inception_c(s4, "mixed9", 1280);
+  inception_c(s4, "mixed10", 2048);
+  s4.layers.push_back(global_pool("head.avgpool", 8, 2048));
+  s4.layers.push_back(fc("head.fc", 2048, 1000));
+  net.stages.push_back(std::move(s4));
+
+  return net;
+}
+
+}  // namespace daris::dnn

@@ -1,0 +1,115 @@
+// ResNet-18 and ResNet-50 layer graphs (He et al., CVPR 2016), 224x224x3
+// input, partitioned into the four residual super-blocks as in the paper
+// ("ResNet is divided into four stages", Sec. III-B1).
+#include "dnn/zoo.h"
+
+namespace daris::dnn {
+
+namespace {
+
+/// Basic block: two 3x3 convolutions plus the residual add; `downsample`
+/// adds the 1x1 strided projection.
+void basic_block(StageDef& stage, const std::string& prefix, int in_hw,
+                 int in_c, int out_c, bool downsample) {
+  const int stride = downsample ? 2 : 1;
+  const int out_hw = downsample ? in_hw / 2 : in_hw;
+  stage.layers.push_back(
+      conv2d(prefix + ".conv1", in_hw, in_c, out_c, 3, stride));
+  stage.layers.push_back(conv2d(prefix + ".conv2", out_hw, out_c, out_c, 3));
+  if (downsample) {
+    stage.layers.push_back(
+        conv2d(prefix + ".down", in_hw, in_c, out_c, 1, stride));
+  }
+  stage.layers.push_back(residual_add(prefix + ".add", out_hw, out_c));
+}
+
+/// Bottleneck block: 1x1 reduce, 3x3, 1x1 expand (4x), plus residual add.
+void bottleneck_block(StageDef& stage, const std::string& prefix, int in_hw,
+                      int in_c, int mid_c, bool downsample, bool project) {
+  const int out_c = mid_c * 4;
+  const int stride = downsample ? 2 : 1;
+  const int out_hw = downsample ? in_hw / 2 : in_hw;
+  stage.layers.push_back(conv2d(prefix + ".conv1", in_hw, in_c, mid_c, 1));
+  stage.layers.push_back(
+      conv2d(prefix + ".conv2", in_hw, mid_c, mid_c, 3, stride));
+  stage.layers.push_back(conv2d(prefix + ".conv3", out_hw, mid_c, out_c, 1));
+  if (project) {
+    stage.layers.push_back(
+        conv2d(prefix + ".down", in_hw, in_c, out_c, 1, stride));
+  }
+  stage.layers.push_back(residual_add(prefix + ".add", out_hw, out_c));
+}
+
+}  // namespace
+
+NetworkDef resnet18() {
+  NetworkDef net;
+  net.name = "ResNet18";
+
+  StageDef s1{"stem+layer1", {}};
+  s1.layers.push_back(conv2d("stem.conv7x7", 224, 3, 64, 7, 2));
+  s1.layers.push_back(pool2d("stem.maxpool", 112, 64, 3, 2));
+  basic_block(s1, "layer1.0", 56, 64, 64, false);
+  basic_block(s1, "layer1.1", 56, 64, 64, false);
+  net.stages.push_back(std::move(s1));
+
+  StageDef s2{"layer2", {}};
+  basic_block(s2, "layer2.0", 56, 64, 128, true);
+  basic_block(s2, "layer2.1", 28, 128, 128, false);
+  net.stages.push_back(std::move(s2));
+
+  StageDef s3{"layer3", {}};
+  basic_block(s3, "layer3.0", 28, 128, 256, true);
+  basic_block(s3, "layer3.1", 14, 256, 256, false);
+  net.stages.push_back(std::move(s3));
+
+  StageDef s4{"layer4+head", {}};
+  basic_block(s4, "layer4.0", 14, 256, 512, true);
+  basic_block(s4, "layer4.1", 7, 512, 512, false);
+  s4.layers.push_back(global_pool("head.avgpool", 7, 512));
+  s4.layers.push_back(fc("head.fc", 512, 1000));
+  net.stages.push_back(std::move(s4));
+
+  return net;
+}
+
+NetworkDef resnet50() {
+  NetworkDef net;
+  net.name = "ResNet50";
+
+  StageDef s1{"stem+layer1", {}};
+  s1.layers.push_back(conv2d("stem.conv7x7", 224, 3, 64, 7, 2));
+  s1.layers.push_back(pool2d("stem.maxpool", 112, 64, 3, 2));
+  bottleneck_block(s1, "layer1.0", 56, 64, 64, false, true);
+  bottleneck_block(s1, "layer1.1", 56, 256, 64, false, false);
+  bottleneck_block(s1, "layer1.2", 56, 256, 64, false, false);
+  net.stages.push_back(std::move(s1));
+
+  StageDef s2{"layer2", {}};
+  bottleneck_block(s2, "layer2.0", 56, 256, 128, true, true);
+  for (int i = 1; i < 4; ++i) {
+    bottleneck_block(s2, "layer2." + std::to_string(i), 28, 512, 128, false,
+                     false);
+  }
+  net.stages.push_back(std::move(s2));
+
+  StageDef s3{"layer3", {}};
+  bottleneck_block(s3, "layer3.0", 28, 512, 256, true, true);
+  for (int i = 1; i < 6; ++i) {
+    bottleneck_block(s3, "layer3." + std::to_string(i), 14, 1024, 256, false,
+                     false);
+  }
+  net.stages.push_back(std::move(s3));
+
+  StageDef s4{"layer4+head", {}};
+  bottleneck_block(s4, "layer4.0", 14, 1024, 512, true, true);
+  bottleneck_block(s4, "layer4.1", 7, 2048, 512, false, false);
+  bottleneck_block(s4, "layer4.2", 7, 2048, 512, false, false);
+  s4.layers.push_back(global_pool("head.avgpool", 7, 2048));
+  s4.layers.push_back(fc("head.fc", 2048, 1000));
+  net.stages.push_back(std::move(s4));
+
+  return net;
+}
+
+}  // namespace daris::dnn

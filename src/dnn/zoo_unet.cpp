@@ -1,0 +1,59 @@
+// UNet layer graph (Ronneberger et al., MICCAI 2015) at the paper's
+// 224x224x3 input, with same-padded convolutions (the common modern variant)
+// and 2x up-convolutions with skip concatenations. The wide, high-resolution
+// feature maps are what make UNet fill the GPU without batching (its 1.08x
+// batching gain in Table I).
+#include "dnn/zoo.h"
+
+namespace daris::dnn {
+
+namespace {
+void double_conv(StageDef& stage, const std::string& prefix, int hw, int in_c,
+                 int out_c) {
+  stage.layers.push_back(conv2d(prefix + ".conv1", hw, in_c, out_c, 3));
+  stage.layers.push_back(conv2d(prefix + ".conv2", hw, out_c, out_c, 3));
+}
+}  // namespace
+
+NetworkDef unet() {
+  NetworkDef net;
+  net.name = "UNet";
+
+  StageDef s1{"encoder.hi", {}};
+  double_conv(s1, "enc1", 224, 3, 64);
+  s1.layers.push_back(pool2d("enc1.pool", 224, 64, 2, 2));
+  double_conv(s1, "enc2", 112, 64, 128);
+  s1.layers.push_back(pool2d("enc2.pool", 112, 128, 2, 2));
+  net.stages.push_back(std::move(s1));
+
+  StageDef s2{"encoder.lo+bottleneck", {}};
+  double_conv(s2, "enc3", 56, 128, 256);
+  s2.layers.push_back(pool2d("enc3.pool", 56, 256, 2, 2));
+  double_conv(s2, "enc4", 28, 256, 512);
+  s2.layers.push_back(pool2d("enc4.pool", 28, 512, 2, 2));
+  double_conv(s2, "bottleneck", 14, 512, 1024);
+  net.stages.push_back(std::move(s2));
+
+  StageDef s3{"decoder.lo", {}};
+  s3.layers.push_back(upconv2x("dec4.up", 14, 1024, 512));
+  s3.layers.push_back(concat("dec4.cat", 28, 1024));
+  double_conv(s3, "dec4", 28, 1024, 512);
+  s3.layers.push_back(upconv2x("dec3.up", 28, 512, 256));
+  s3.layers.push_back(concat("dec3.cat", 56, 512));
+  double_conv(s3, "dec3", 56, 512, 256);
+  net.stages.push_back(std::move(s3));
+
+  StageDef s4{"decoder.hi+head", {}};
+  s4.layers.push_back(upconv2x("dec2.up", 56, 256, 128));
+  s4.layers.push_back(concat("dec2.cat", 112, 256));
+  double_conv(s4, "dec2", 112, 256, 128);
+  s4.layers.push_back(upconv2x("dec1.up", 112, 128, 64));
+  s4.layers.push_back(concat("dec1.cat", 224, 128));
+  double_conv(s4, "dec1", 224, 128, 64);
+  s4.layers.push_back(conv2d("head.out", 224, 64, 2, 1));
+  net.stages.push_back(std::move(s4));
+
+  return net;
+}
+
+}  // namespace daris::dnn

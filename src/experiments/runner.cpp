@@ -1,0 +1,77 @@
+#include "experiments/runner.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "daris/offline.h"
+#include "daris/scheduler.h"
+#include "dnn/zoo.h"
+#include "gpusim/gpu.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+
+namespace daris::exp {
+
+RunResult run_daris(const RunConfig& config) {
+  sim::Simulator sim;
+  gpusim::Gpu gpu(sim, config.gpu, config.seed);
+
+  metrics::Collector collector;
+  collector.set_measure_start(common::from_sec(config.warmup_s));
+  collector.enable_stage_trace(config.stage_trace);
+
+  rt::SchedulerConfig sched_cfg = config.sched;
+  sched_cfg.canonicalize();
+
+  // One compiled model per distinct kind (weights shared across tasks, as
+  // MPS shares them across contexts — the zero-delay migration premise).
+  std::map<dnn::ModelKind, std::unique_ptr<dnn::CompiledModel>> models;
+  for (const auto& t : config.taskset.tasks) {
+    if (!models.count(t.model)) {
+      models.emplace(t.model,
+                     std::make_unique<dnn::CompiledModel>(dnn::compiled_model(
+                         t.model, sched_cfg.batch, config.gpu)));
+    }
+  }
+
+  // Offline phase 1: AFET profiling under the same partitioning.
+  std::vector<const dnn::CompiledModel*> distinct;
+  distinct.reserve(models.size());
+  for (const auto& [kind, m] : models) distinct.push_back(m.get());
+  const rt::AfetResult afet = rt::profile_afet(
+      config.gpu, sched_cfg, distinct, /*jobs_per_stream=*/16, config.seed);
+
+  rt::Scheduler scheduler(sim, gpu, sched_cfg, &collector);
+  for (const auto& t : config.taskset.tasks) {
+    const int id = scheduler.add_task(t, models.at(t.model).get());
+    scheduler.set_afet(id, afet.for_model(models.at(t.model).get()));
+  }
+
+  // Offline phase 2: Algorithm 1 initial context assignment.
+  scheduler.run_offline_phase();
+
+  const common::Time horizon = common::from_sec(config.duration_s);
+  workload::PeriodicDriver driver(sim, scheduler, horizon);
+  driver.start();
+  sim.run_until(horizon);
+
+  RunResult result;
+  result.total_jps = collector.throughput_jps(horizon);
+  result.hp = collector.summary(common::Priority::kHigh);
+  result.lp = collector.summary(common::Priority::kLow);
+  result.gpu_utilization = gpu.utilization(horizon);
+  result.migrations = scheduler.migrations();
+  result.stage_trace = collector.stage_trace();
+  return result;
+}
+
+std::string relative_error(double measured, double expected) {
+  if (expected == 0.0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                100.0 * (measured - expected) / expected);
+  return buf;
+}
+
+}  // namespace daris::exp

@@ -1,0 +1,42 @@
+// Shared experiment runner: wires GPU, compiled models, offline AFET
+// profiling, the DARIS scheduler, the periodic driver, and metrics into one
+// reproducible run. Every bench binary goes through this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daris/config.h"
+#include "gpusim/gpu_spec.h"
+#include "metrics/collector.h"
+#include "workload/taskset.h"
+
+namespace daris::exp {
+
+struct RunConfig {
+  workload::TaskSetSpec taskset;
+  rt::SchedulerConfig sched;
+  gpusim::GpuSpec gpu = gpusim::GpuSpec::rtx2080ti();
+  double duration_s = 6.0;
+  double warmup_s = 1.0;
+  std::uint64_t seed = 42;
+  bool stage_trace = false;
+};
+
+struct RunResult {
+  double total_jps = 0.0;
+  metrics::ClassSummary hp;
+  metrics::ClassSummary lp;
+  double gpu_utilization = 0.0;
+  std::uint64_t migrations = 0;
+  std::vector<metrics::StageEvent> stage_trace;
+};
+
+/// Runs DARIS on the configured task set and returns the measured summary.
+RunResult run_daris(const RunConfig& config);
+
+/// Paper-vs-measured helper: relative error string like "+3.2%".
+std::string relative_error(double measured, double expected);
+
+}  // namespace daris::exp

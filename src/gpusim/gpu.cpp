@@ -1,0 +1,311 @@
+#include "gpusim/gpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace daris::gpusim {
+
+namespace {
+constexpr double kEpsilonWork = 1e-9;   // SM-us below which a kernel is done
+constexpr double kRateTolerance = 1e-9;
+}  // namespace
+
+Gpu::Gpu(sim::Simulator& sim, GpuSpec spec, std::uint64_t seed)
+    : sim_(sim), spec_(spec), rng_(seed) {}
+
+ContextId Gpu::create_context(double sm_quota) {
+  assert(sm_quota > 0.0);
+  contexts_.push_back(ContextState{sm_quota, 0});
+  return static_cast<ContextId>(contexts_.size()) - 1;
+}
+
+void Gpu::set_context_quota(ContextId ctx, double sm_quota) {
+  assert(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));
+  contexts_[static_cast<std::size_t>(ctx)].quota = sm_quota;
+  settle_progress();
+  recompute_rates();
+}
+
+double Gpu::context_quota(ContextId ctx) const {
+  assert(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));
+  return contexts_[static_cast<std::size_t>(ctx)].quota;
+}
+
+StreamId Gpu::create_stream(ContextId ctx) {
+  assert(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));
+  StreamState s;
+  s.ctx = ctx;
+  streams_.push_back(std::move(s));
+  return static_cast<StreamId>(streams_.size()) - 1;
+}
+
+ContextId Gpu::context_of(StreamId s) const {
+  return streams_[static_cast<std::size_t>(s)].ctx;
+}
+
+void Gpu::launch_kernel(StreamId s, const KernelDesc& desc) {
+  Command cmd{Command::Kind::kKernel, desc, {}};
+  streams_[static_cast<std::size_t>(s)].queue.push_back(std::move(cmd));
+  advance_stream(s);
+}
+
+void Gpu::enqueue_callback(StreamId s, std::function<void()> fn) {
+  Command cmd{Command::Kind::kCallback, {}, std::move(fn)};
+  streams_[static_cast<std::size_t>(s)].queue.push_back(std::move(cmd));
+  advance_stream(s);
+}
+
+bool Gpu::stream_idle(StreamId s) const {
+  const auto& st = streams_[static_cast<std::size_t>(s)];
+  return !st.busy && st.queue.empty();
+}
+
+std::size_t Gpu::stream_depth(StreamId s) const {
+  const auto& st = streams_[static_cast<std::size_t>(s)];
+  return st.queue.size() + (st.busy ? 1 : 0);
+}
+
+int Gpu::active_kernels(ContextId ctx) const {
+  return contexts_[static_cast<std::size_t>(ctx)].active;
+}
+
+void Gpu::advance_stream(StreamId s) {
+  auto& st = streams_[static_cast<std::size_t>(s)];
+  // Run host callbacks immediately: in-order semantics guarantee all prior
+  // kernels have completed whenever the stream head is reached while idle.
+  while (!st.busy && !st.queue.empty() &&
+         st.queue.front().kind == Command::Kind::kCallback) {
+    auto fn = std::move(st.queue.front().callback);
+    st.queue.pop_front();
+    fn();
+  }
+  if (st.busy || st.queue.empty()) return;
+
+  // Head is a kernel: begin the launch phase (stream busy, no SMs used).
+  // Launches serialise within the context; wait for the context lock.
+  st.busy = true;
+  st.in_flight = st.queue.front().kernel;
+  st.queue.pop_front();
+  auto& ctx = contexts_[static_cast<std::size_t>(st.ctx)];
+  if (ctx.launching) {
+    ctx.launch_queue.push_back(s);
+    return;
+  }
+  begin_launch(s);
+}
+
+void Gpu::begin_launch(StreamId s) {
+  auto& st = streams_[static_cast<std::size_t>(s)];
+  contexts_[static_cast<std::size_t>(st.ctx)].launching = true;
+  const std::uint64_t gen = ++st.gen;
+  sim_.schedule_after(common::from_us(spec_.launch_overhead_us),
+                      [this, s, gen] { on_launch_done(s, gen); });
+}
+
+void Gpu::on_launch_done(StreamId s, std::uint64_t gen) {
+  auto& st = streams_[static_cast<std::size_t>(s)];
+  if (st.gen != gen) return;  // stale
+  assert(st.busy);
+  const KernelDesc desc = st.in_flight;
+
+  // Release the context launch lock and start the next queued launch.
+  auto& ctx_state = contexts_[static_cast<std::size_t>(st.ctx)];
+  ctx_state.launching = false;
+  if (!ctx_state.launch_queue.empty()) {
+    const StreamId next = ctx_state.launch_queue.front();
+    ctx_state.launch_queue.pop_front();
+    begin_launch(next);
+  }
+
+  // Per-execution jitter models clock/cache variability, amplified by the
+  // number of co-resident kernels and persistent across consecutive kernels
+  // of a stream (AR(1)): interference states outlive single kernels, which
+  // is what lets whole stages overshoot the MRET window (Fig. 9).
+  double jitter = 1.0;
+  if (spec_.jitter_cv > 0.0) {
+    const double cv =
+        spec_.jitter_cv *
+        (1.0 + spec_.jitter_load_slope * static_cast<double>(active_.size()));
+    const double rho = std::clamp(spec_.jitter_rho, 0.0, 0.999);
+    const double innovation =
+        rng_.normal(0.0, cv * std::sqrt(1.0 - rho * rho));
+    st.jitter_dev = rho * st.jitter_dev + innovation;
+    jitter = std::max(0.5, 1.0 + st.jitter_dev);
+  }
+
+  settle_progress();
+  ActiveKernel ak;
+  ak.stream = s;
+  ak.ctx = st.ctx;
+  ak.parallelism = std::max(1.0, desc.parallelism);
+  ak.mem_intensity = std::max(0.0, desc.mem_intensity);
+  ak.remaining = std::max(kEpsilonWork, desc.work * jitter);
+  ak.last_update = sim_.now();
+  ak.gen = gen;
+  active_.push_back(std::move(ak));
+  contexts_[static_cast<std::size_t>(st.ctx)].active++;
+  recompute_rates();
+}
+
+void Gpu::on_kernel_complete(StreamId s, std::uint64_t gen) {
+  // Find the active kernel for this stream/generation.
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [s, gen](const ActiveKernel& k) {
+                           return k.stream == s && k.gen == gen;
+                         });
+  if (it == active_.end()) return;  // cancelled/stale
+
+  settle_progress();
+  // Floating-point residue is expected; anything material is a logic error.
+  assert(it->remaining < 1.0 && "kernel completed with work left");
+  contexts_[static_cast<std::size_t>(it->ctx)].active--;
+  active_.erase(it);
+  ++kernels_completed_;
+
+  auto& st = streams_[static_cast<std::size_t>(s)];
+  st.busy = false;
+  recompute_rates();
+  advance_stream(s);
+}
+
+void Gpu::settle_progress() {
+  const Time now = sim_.now();
+  double busy = 0.0;
+  for (auto& k : active_) {
+    const double dt_us = common::to_us(now - k.last_update);
+    if (dt_us > 0.0) {
+      k.remaining = std::max(0.0, k.remaining - k.rate * dt_us);
+      busy += k.rate * static_cast<double>(now - k.last_update);
+    }
+    k.last_update = now;
+  }
+  busy_integral_ += busy;
+  busy_last_update_ = now;
+}
+
+double Gpu::quantized_rate(double parallelism, double share) const {
+  if (share <= 0.0) return 0.0;
+  if (parallelism <= share) return parallelism;  // single wave
+  const double fluid_waves = parallelism / share;
+  const double hard_waves = std::ceil(fluid_waves - 1e-12);
+  const double waves = spec_.quant_smoothing * fluid_waves +
+                       (1.0 - spec_.quant_smoothing) * hard_waves;
+  return parallelism / waves;
+}
+
+void Gpu::recompute_rates() {
+  if (active_.empty()) return;
+  const Time now = sim_.now();
+
+  // 1. Water-fill each context's quota among its resident kernels.
+  //    Process kernels grouped by context; within a context, ascending
+  //    parallelism gets its full demand first (max-min fairness).
+  std::vector<std::size_t> order(active_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (active_[a].ctx != active_[b].ctx) return active_[a].ctx < active_[b].ctx;
+    if (active_[a].parallelism != active_[b].parallelism)
+      return active_[a].parallelism < active_[b].parallelism;
+    return a < b;
+  });
+
+  std::vector<double> share(active_.size(), 0.0);
+  std::size_t i = 0;
+  double total_alloc = 0.0;
+  while (i < order.size()) {
+    const ContextId ctx = active_[order[i]].ctx;
+    std::size_t j = i;
+    while (j < order.size() && active_[order[j]].ctx == ctx) ++j;
+    double quota = contexts_[static_cast<std::size_t>(ctx)].quota;
+    std::size_t left = j - i;
+    for (std::size_t k = i; k < j; ++k) {
+      const double fair = quota / static_cast<double>(left);
+      const double alloc = std::min(active_[order[k]].parallelism, fair);
+      share[order[k]] = alloc;
+      quota -= alloc;
+      --left;
+    }
+    for (std::size_t k = i; k < j; ++k) total_alloc += share[order[k]];
+    i = j;
+  }
+
+  // 2. Oversubscription: rescale when allocations exceed physical SMs.
+  const double sm = static_cast<double>(spec_.sm_count);
+  if (total_alloc > sm) {
+    const double scale = sm / total_alloc;
+    for (auto& s : share) s *= scale;
+  }
+
+  // Global L2-contention penalty grows with resident-block pressure: the
+  // blocks all resident kernels *could* run concurrently, regardless of
+  // whether they queue behind a quota or behind SM sharing. A single
+  // many-stream context thrashes the same caches as many one-stream
+  // contexts.
+  double pressure = 0.0;
+  for (const auto& ak : active_) pressure += std::min(ak.parallelism, sm);
+  const double excess = std::max(0.0, pressure / sm - 1.0);
+  const double eff_os = 1.0 / (1.0 + spec_.kappa_oversub * excess);
+
+  // 3/4. Per-kernel rate with wave quantisation, the small-slice penalty,
+  // and the intra-context multi-stream penalty.
+  std::vector<double> raw(active_.size(), 0.0);
+  double bw_demand = 0.0;
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    const auto& ak = active_[k];
+    const auto& ctx = contexts_[static_cast<std::size_t>(ak.ctx)];
+    const double eff_intra =
+        1.0 / (1.0 + spec_.alpha_intra *
+                         std::min(static_cast<double>(ctx.active - 1),
+                                  spec_.intra_saturation));
+    const double eff_quota =
+        1.0 - spec_.quota_penalty_a *
+                  std::exp(-ctx.quota / spec_.quota_penalty_q0);
+    raw[k] = quantized_rate(ak.parallelism, share[k]) * eff_intra * eff_os *
+             eff_quota;
+    bw_demand += raw[k] * ak.mem_intensity;
+  }
+
+  // 5. Memory-bandwidth cap (fluid stall).
+  const double phi =
+      bw_demand > spec_.mem_bandwidth ? spec_.mem_bandwidth / bw_demand : 1.0;
+
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    auto& ak = active_[k];
+    const double new_rate = raw[k] * phi;
+    const bool changed = std::abs(new_rate - ak.rate) > kRateTolerance ||
+                         !ak.completion.valid();
+    if (!changed) continue;
+    sim_.cancel(ak.completion);
+    ak.rate = new_rate;
+    ak.last_update = now;
+    if (ak.rate <= 0.0) {
+      ak.completion = sim::EventHandle{};
+      continue;
+    }
+    const double finish_us = ak.remaining / ak.rate;
+    const StreamId s = ak.stream;
+    const std::uint64_t gen = ak.gen;
+    ak.completion = sim_.schedule_after(
+        common::from_us(finish_us) + 1,  // +1 tick: settle past the epsilon
+        [this, s, gen] { on_kernel_complete(s, gen); });
+  }
+}
+
+double Gpu::busy_sm_integral() const {
+  double busy = busy_integral_;
+  const Time now = sim_.now();
+  for (const auto& k : active_) {
+    busy += k.rate * static_cast<double>(now - k.last_update);
+  }
+  return busy;
+}
+
+double Gpu::utilization(Time horizon) const {
+  if (horizon <= 0) return 0.0;
+  return busy_sm_integral() /
+         (static_cast<double>(horizon) * static_cast<double>(spec_.sm_count));
+}
+
+}  // namespace daris::gpusim

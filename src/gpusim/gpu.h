@@ -1,0 +1,149 @@
+// Simulated GPU with MPS-style contexts and CUDA-stream semantics.
+//
+// Execution model (re-evaluated at every state change, i.e. a fluid
+// processor-sharing approximation):
+//   1. Within each context, concurrently resident kernels water-fill the
+//      context's SM quota, each capped at its own parallelism.
+//   2. If the sum of allocations across contexts exceeds the physical SM
+//      count (oversubscription), allocations are rescaled proportionally.
+//   3. A kernel allocated s SMs with P blocks progresses at rate
+//      P / waves(P, s) where waves interpolates between ceil(P/s) (hard wave
+//      quantisation) and P/s (ideal fluid) — tail waves waste SMs unless
+//      other kernels fill them, which is why colocation can beat batching.
+//   4. Multiple streams resident in one context pay an efficiency penalty
+//      (driver serialisation / shared cache), and heavy global
+//      oversubscription pays an L2-contention penalty.
+//   5. Aggregate memory-bandwidth demand above the spec's bandwidth rescales
+//      every kernel's progress (fluid stall model).
+//
+// Kernel-launch latency is serialised within a stream (the GPU is idle for
+// that stream while a launch is in flight), which is what batching amortises
+// and spatial colocation hides.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "gpusim/gpu_spec.h"
+#include "gpusim/kernel.h"
+#include "sim/simulator.h"
+
+namespace daris::gpusim {
+
+using common::Time;
+
+using ContextId = int;
+using StreamId = int;
+
+class Gpu {
+ public:
+  Gpu(sim::Simulator& sim, GpuSpec spec, std::uint64_t seed = 0x5EEDull);
+  Gpu(const Gpu&) = delete;
+  Gpu& operator=(const Gpu&) = delete;
+
+  const GpuSpec& spec() const { return spec_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Creates an MPS context limited to `sm_quota` SMs (Eq. 9 output).
+  ContextId create_context(double sm_quota);
+
+  /// Adjusts a context's quota (used by reconfiguration experiments).
+  void set_context_quota(ContextId ctx, double sm_quota);
+  double context_quota(ContextId ctx) const;
+  int context_count() const { return static_cast<int>(contexts_.size()); }
+
+  /// Creates an in-order stream bound to `ctx`.
+  StreamId create_stream(ContextId ctx);
+  int stream_count() const { return static_cast<int>(streams_.size()); }
+  ContextId context_of(StreamId s) const;
+
+  /// Enqueues a kernel launch on a stream (asynchronous, FIFO order).
+  void launch_kernel(StreamId s, const KernelDesc& desc);
+
+  /// Enqueues a host callback; runs once all prior work on the stream is
+  /// complete (models cudaLaunchHostFunc / event-driven stage completion).
+  void enqueue_callback(StreamId s, std::function<void()> fn);
+
+  /// True when the stream has no queued or running work.
+  bool stream_idle(StreamId s) const;
+
+  /// Number of enqueued-but-unfinished commands on the stream.
+  std::size_t stream_depth(StreamId s) const;
+
+  /// Number of kernels currently resident in a context.
+  int active_kernels(ContextId ctx) const;
+
+  /// Total resident kernels on the device.
+  int total_active_kernels() const { return static_cast<int>(active_.size()); }
+
+  /// Integral of busy SMs over time, in SM-nanoseconds.
+  double busy_sm_integral() const;
+
+  /// Average SM utilisation in [0,1] over [0, horizon].
+  double utilization(Time horizon) const;
+
+  /// Completed kernel count (for tests / microbenchmarks).
+  std::uint64_t kernels_completed() const { return kernels_completed_; }
+
+ private:
+  struct Command {
+    enum class Kind { kKernel, kCallback } kind;
+    KernelDesc kernel;
+    std::function<void()> callback;
+  };
+
+  struct StreamState {
+    ContextId ctx = 0;
+    std::deque<Command> queue;
+    bool busy = false;           // a kernel is launching or resident
+    KernelDesc in_flight;        // the kernel being launched/executed
+    std::uint64_t gen = 0;       // guards stale launch/completion events
+    double jitter_dev = 0.0;     // AR(1) interference state
+  };
+
+  struct ContextState {
+    double quota = 0.0;
+    int active = 0;
+    // Kernel launches serialise within a context (driver context lock):
+    // only one launch can be in flight; further streams queue here. This is
+    // why multiple MPS contexts out-launch one multi-stream context.
+    bool launching = false;
+    std::deque<StreamId> launch_queue;
+  };
+
+  struct ActiveKernel {
+    StreamId stream = -1;
+    ContextId ctx = 0;
+    double parallelism = 1.0;
+    double mem_intensity = 0.0;
+    double remaining = 0.0;  // SM-us
+    double rate = 0.0;       // SM (work per us)
+    Time last_update = 0;
+    sim::EventHandle completion;
+    std::uint64_t gen = 0;
+  };
+
+  void advance_stream(StreamId s);
+  void begin_launch(StreamId s);
+  void on_launch_done(StreamId s, std::uint64_t gen);
+  void on_kernel_complete(StreamId s, std::uint64_t gen);
+  void settle_progress();
+  void recompute_rates();
+  double quantized_rate(double parallelism, double share) const;
+
+  sim::Simulator& sim_;
+  GpuSpec spec_;
+  common::Rng rng_;
+  std::vector<ContextState> contexts_;
+  std::vector<StreamState> streams_;
+  std::vector<ActiveKernel> active_;
+  double busy_integral_ = 0.0;  // SM-ns
+  Time busy_last_update_ = 0;
+  std::uint64_t kernels_completed_ = 0;
+};
+
+}  // namespace daris::gpusim

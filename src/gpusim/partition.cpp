@@ -1,0 +1,33 @@
+#include "gpusim/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace daris::gpusim {
+
+int ceil_even(double x) {
+  const int up = static_cast<int>(std::ceil(x - 1e-12));
+  return (up % 2 == 0) ? up : up + 1;
+}
+
+int sm_quota_per_context(const GpuSpec& spec, int num_contexts,
+                         double oversubscription) {
+  assert(num_contexts >= 1);
+  const double os =
+      std::clamp(oversubscription, 1.0, static_cast<double>(num_contexts));
+  const double raw = os * static_cast<double>(spec.sm_count) /
+                     static_cast<double>(num_contexts);
+  // A context can never use more than the whole device.
+  return std::min(ceil_even(raw), spec.sm_count);
+}
+
+std::vector<int> partition_quotas(const GpuSpec& spec, int num_contexts,
+                                  double oversubscription) {
+  const int q = std::min(sm_quota_per_context(spec, num_contexts,
+                                              oversubscription),
+                         spec.sm_count);
+  return std::vector<int>(static_cast<std::size_t>(num_contexts), q);
+}
+
+}  // namespace daris::gpusim

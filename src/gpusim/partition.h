@@ -1,0 +1,23 @@
+// Spatial-partitioning helpers shared by DARIS and the baselines.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/gpu_spec.h"
+
+namespace daris::gpusim {
+
+/// Rounds up to the nearest even integer (ceil_even in Eq. 9).
+int ceil_even(double x);
+
+/// Per-context SM quota from Eq. 9:
+///   NSM = ceil_even(OS * NSM,max / Nc), with 1 <= OS <= Nc.
+/// OS = 1 isolates contexts; OS = Nc shares every SM with every context.
+int sm_quota_per_context(const GpuSpec& spec, int num_contexts,
+                         double oversubscription);
+
+/// Quotas for all contexts (uniform, per the paper).
+std::vector<int> partition_quotas(const GpuSpec& spec, int num_contexts,
+                                  double oversubscription);
+
+}  // namespace daris::gpusim

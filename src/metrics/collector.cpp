@@ -1,0 +1,39 @@
+#include "metrics/collector.h"
+
+namespace daris::metrics {
+
+void Collector::on_release(const JobEvent& ev) {
+  auto& c = classes_[static_cast<std::size_t>(ev.priority)];
+  ++c.released;
+}
+
+void Collector::on_reject(const JobEvent& ev) {
+  auto& c = classes_[static_cast<std::size_t>(ev.priority)];
+  ++c.rejected;
+}
+
+void Collector::on_finish(const JobEvent& ev) {
+  auto& c = classes_[static_cast<std::size_t>(ev.priority)];
+  ++c.accepted;
+  if (trace_jobs_) job_trace_.push_back(ev);
+  if (ev.finish < measure_start_) return;  // warm-up
+  ++c.completed;
+  if (ev.missed) ++c.missed;
+  c.response_ms.add(common::to_ms(ev.finish - ev.release));
+}
+
+void Collector::on_stage(const StageEvent& ev) {
+  if (trace_stages_) stage_trace_.push_back(ev);
+}
+
+std::uint64_t Collector::total_completed() const {
+  return classes_[0].completed + classes_[1].completed;
+}
+
+double Collector::throughput_jps(Time horizon) const {
+  const Time span = horizon - measure_start_;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(total_completed()) / common::to_sec(span);
+}
+
+}  // namespace daris::metrics

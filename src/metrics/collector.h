@@ -1,0 +1,98 @@
+// Run-time metrics: per-priority throughput, deadline-miss rate, response
+// times, and optional per-stage execution/MRET traces (Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/priority.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace daris::metrics {
+
+using common::Duration;
+using common::Priority;
+using common::Time;
+
+struct JobEvent {
+  int task_id = 0;
+  Priority priority = Priority::kHigh;
+  Time release = 0;
+  Time finish = 0;
+  Duration relative_deadline = 0;
+  bool accepted = true;
+  bool missed = false;
+  int context = -1;
+};
+
+struct StageEvent {
+  int task_id = 0;
+  std::size_t stage = 0;
+  Time when = 0;
+  double execution_us = 0.0;  // measured et_{i,j}
+  double mret_us = 0.0;       // prediction in force when the stage started
+};
+
+/// Summary over one priority class.
+struct ClassSummary {
+  std::uint64_t released = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t missed = 0;
+
+  common::Percentiles response_ms;
+
+  /// Deadline-miss rate: misses over accepted jobs (paper Sec. VI),
+  /// evaluated over jobs completing inside the measurement window.
+  double dmr() const {
+    return completed == 0
+               ? 0.0
+               : static_cast<double>(missed) / static_cast<double>(completed);
+  }
+  double rejection_rate() const {
+    return released == 0
+               ? 0.0
+               : static_cast<double>(rejected) / static_cast<double>(released);
+  }
+};
+
+class Collector {
+ public:
+  /// When true, stage events are stored (memory-heavy; off by default).
+  void enable_stage_trace(bool on) { trace_stages_ = on; }
+
+  /// When true, every finished job event is stored (for timeline export).
+  void enable_job_trace(bool on) { trace_jobs_ = on; }
+
+  /// Measurement window: jobs finishing before `start` are warm-up and only
+  /// counted toward acceptance statistics.
+  void set_measure_start(Time start) { measure_start_ = start; }
+
+  void on_release(const JobEvent& ev);
+  void on_reject(const JobEvent& ev);
+  void on_finish(const JobEvent& ev);
+  void on_stage(const StageEvent& ev);
+
+  const ClassSummary& summary(Priority p) const {
+    return classes_[static_cast<std::size_t>(p)];
+  }
+  const std::vector<StageEvent>& stage_trace() const { return stage_trace_; }
+  const std::vector<JobEvent>& job_trace() const { return job_trace_; }
+
+  std::uint64_t total_completed() const;
+
+  /// Aggregate throughput in jobs per second over [measure_start, horizon].
+  double throughput_jps(Time horizon) const;
+
+ private:
+  ClassSummary classes_[2];
+  std::vector<StageEvent> stage_trace_;
+  std::vector<JobEvent> job_trace_;
+  bool trace_stages_ = false;
+  bool trace_jobs_ = false;
+  Time measure_start_ = 0;
+};
+
+}  // namespace daris::metrics

@@ -1,0 +1,69 @@
+#include "metrics/trace_export.h"
+
+#include <sstream>
+
+namespace daris::metrics {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+void TraceRecorder::add_job_events(const std::vector<JobEvent>& jobs) {
+  for (const auto& j : jobs) {
+    TraceSpan span;
+    span.name = "job task" + std::to_string(j.task_id);
+    span.group = j.context;
+    span.lane = j.task_id;
+    span.begin = j.release;
+    span.duration = j.finish - j.release;
+    span.priority = j.priority;
+    span.missed = j.missed;
+    add(std::move(span));
+  }
+}
+
+void TraceRecorder::add_stage_events(const std::vector<StageEvent>& stages) {
+  for (const auto& s : stages) {
+    TraceSpan span;
+    span.name = "task" + std::to_string(s.task_id) + ".stage" +
+                std::to_string(s.stage);
+    span.group = -1;
+    span.lane = s.task_id;
+    const auto dur =
+        static_cast<Duration>(s.execution_us * common::kMicrosecond);
+    span.begin = s.when - dur;
+    span.duration = dur;
+    add(std::move(span));
+  }
+}
+
+std::string to_chrome_trace_json(const std::vector<TraceSpan>& spans) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << escape(s.name) << "\","
+        << " \"ph\": \"X\","
+        << " \"pid\": " << s.group << ","
+        << " \"tid\": " << s.lane << ","
+        << " \"ts\": " << common::to_us(s.begin) << ","
+        << " \"dur\": " << common::to_us(s.duration) << ","
+        << " \"args\": {\"priority\": \""
+        << common::priority_name(s.priority) << "\", \"missed\": "
+        << (s.missed ? "true" : "false") << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+}  // namespace daris::metrics

@@ -1,0 +1,49 @@
+// Chrome-trace (about://tracing / Perfetto) export of scheduler activity.
+//
+// Produces the JSON array format: one complete event ("ph":"X") per job and
+// per stage execution, grouped by context (pid) and task (tid), so a run
+// can be inspected visually — which queue starved, where migrations landed,
+// how staging interleaves HP and LP stages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace daris::metrics {
+
+struct TraceSpan {
+  std::string name;      // e.g. "task3.stage1" or "job task3"
+  int group = 0;         // pid lane (context id, or -1 for job lanes)
+  int lane = 0;          // tid lane (task id)
+  Time begin = 0;
+  Duration duration = 0;
+  Priority priority = Priority::kHigh;
+  bool missed = false;
+};
+
+/// Collects spans during a run; the scheduler-facing side is just a vector.
+class TraceRecorder {
+ public:
+  void add(TraceSpan span) { spans_.push_back(std::move(span)); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+  std::size_t size() const { return spans_.size(); }
+
+  /// Builds job spans from finished-job events (release -> finish).
+  void add_job_events(const std::vector<JobEvent>& jobs);
+
+  /// Builds stage spans from a stage trace (needs task -> context mapping
+  /// only for lane grouping; pass -1 groups everything together).
+  void add_stage_events(const std::vector<StageEvent>& stages);
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+/// Serialises spans to the Chrome trace-event JSON array format.
+/// Timestamps are microseconds as the format requires.
+std::string to_chrome_trace_json(const std::vector<TraceSpan>& spans);
+
+}  // namespace daris::metrics

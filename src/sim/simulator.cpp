@@ -1,0 +1,65 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace daris::sim {
+
+EventHandle Simulator::schedule_at(Time when, Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(cb)});
+  return EventHandle{seq};
+}
+
+EventHandle Simulator::schedule_after(Duration delay, Callback cb) {
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (handle.valid()) cancelled_.insert(handle.id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.seq)) {
+      cancelled_.erase(top.seq);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.cb();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+}  // namespace daris::sim

@@ -1,0 +1,83 @@
+// Discrete-event simulation engine.
+//
+// The GPU model reschedules kernel-completion events every time the fluid
+// rate allocation changes, so events must be cancellable. We implement
+// cancellation lazily: each scheduled event carries a sequence id, and a
+// cancelled id is skipped when popped. Ties in time are broken by insertion
+// order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace daris::sim {
+
+using common::Duration;
+using common::Time;
+
+/// Handle identifying a scheduled event; usable for cancellation.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (>= now).
+  EventHandle schedule_at(Time when, Callback cb);
+
+  /// Schedules `cb` to run `delay` after now.
+  EventHandle schedule_after(Duration delay, Callback cb);
+
+  /// Cancels a pending event; safe to call with stale or invalid handles.
+  void cancel(EventHandle handle);
+
+  /// Runs until the queue is empty or `deadline` is reached. Events exactly
+  /// at `deadline` are executed. Returns the number of events executed.
+  std::size_t run_until(Time deadline);
+
+  /// Runs until the queue is empty.
+  std::size_t run();
+
+  /// Executes the single next event, if any. Returns false when idle.
+  bool step();
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace daris::sim

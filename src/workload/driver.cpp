@@ -1,0 +1,20 @@
+#include "workload/driver.h"
+
+namespace daris::workload {
+
+void PeriodicDriver::start() {
+  for (int i = 0; i < scheduler_.task_count(); ++i) {
+    const auto& spec = scheduler_.task(i).spec();
+    arm(i, spec.phase);
+  }
+}
+
+void PeriodicDriver::arm(int task_id, common::Time when) {
+  if (when > horizon_) return;
+  sim_.schedule_at(when, [this, task_id, when] {
+    scheduler_.release_job(task_id);
+    arm(task_id, when + scheduler_.task(task_id).spec().period);
+  });
+}
+
+}  // namespace daris::workload

@@ -1,0 +1,29 @@
+// Periodic job-release driver: turns a task set into release events.
+#pragma once
+
+#include "common/time.h"
+#include "daris/scheduler.h"
+#include "sim/simulator.h"
+
+namespace daris::workload {
+
+/// Schedules strictly periodic releases (phase + k*T) for every task in the
+/// scheduler, up to `horizon`.
+class PeriodicDriver {
+ public:
+  PeriodicDriver(sim::Simulator& sim, rt::Scheduler& scheduler,
+                 common::Time horizon)
+      : sim_(sim), scheduler_(scheduler), horizon_(horizon) {}
+
+  /// Arms the first release of every registered task.
+  void start();
+
+ private:
+  void arm(int task_id, common::Time when);
+
+  sim::Simulator& sim_;
+  rt::Scheduler& scheduler_;
+  common::Time horizon_;
+};
+
+}  // namespace daris::workload

@@ -1,0 +1,108 @@
+#include "workload/taskset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace daris::workload {
+
+namespace {
+
+/// Builds `n_hp` + `n_lp` periodic tasks of one model at `task_jps` each,
+/// with deterministic per-task phase offsets (D = T per the paper).
+void append_tasks(TaskSetSpec& set, dnn::ModelKind kind, int n_hp, int n_lp,
+                  double task_jps, common::Rng& rng) {
+  const common::Duration period = common::period_for_jps(task_jps);
+  auto make = [&](common::Priority p) {
+    rt::TaskSpec t;
+    t.model = kind;
+    t.period = period;
+    t.relative_deadline = period;
+    t.priority = p;
+    t.phase = static_cast<common::Duration>(
+        rng.uniform(0.0, static_cast<double>(period)));
+    return t;
+  };
+  for (int i = 0; i < n_hp; ++i) set.tasks.push_back(make(common::Priority::kHigh));
+  for (int i = 0; i < n_lp; ++i) set.tasks.push_back(make(common::Priority::kLow));
+}
+
+struct Table2Row {
+  int n_hp;
+  int n_lp;
+  double task_jps;
+};
+
+Table2Row table2_row(dnn::ModelKind kind) {
+  switch (kind) {
+    case dnn::ModelKind::kResNet18:
+      return {17, 34, 30.0};
+    case dnn::ModelKind::kUNet:
+      return {5, 10, 24.0};
+    case dnn::ModelKind::kInceptionV3:
+      return {9, 18, 24.0};
+    case dnn::ModelKind::kResNet50:
+      // Not in Table II; sized to 150% of the 433-JPS upper baseline with
+      // the same 2:1 LP:HP ratio (27 tasks x 24 JPS = 648 JPS demand).
+      return {9, 18, 24.0};
+  }
+  return {0, 0, 0.0};
+}
+
+}  // namespace
+
+int TaskSetSpec::count(common::Priority p) const {
+  return static_cast<int>(
+      std::count_if(tasks.begin(), tasks.end(),
+                    [p](const rt::TaskSpec& t) { return t.priority == p; }));
+}
+
+double TaskSetSpec::demand_jps() const {
+  double d = 0.0;
+  for (const auto& t : tasks) {
+    d += 1.0e9 / static_cast<double>(t.period);
+  }
+  return d;
+}
+
+TaskSetSpec table2_taskset(dnn::ModelKind kind, std::uint64_t seed) {
+  common::Rng rng(seed);
+  TaskSetSpec set;
+  set.name = std::string("table2-") + dnn::model_name(kind);
+  const Table2Row row = table2_row(kind);
+  append_tasks(set, kind, row.n_hp, row.n_lp, row.task_jps, rng);
+  return set;
+}
+
+TaskSetSpec scaled_taskset(dnn::ModelKind kind, double load_factor,
+                           double hp_fraction, std::uint64_t seed) {
+  common::Rng rng(seed);
+  TaskSetSpec set;
+  set.name = std::string("scaled-") + dnn::model_name(kind);
+  const Table2Row row = table2_row(kind);
+  const int total_base = row.n_hp + row.n_lp;
+  const int total = std::max(
+      1, static_cast<int>(std::lround(total_base * load_factor)));
+  const int n_hp = std::clamp(
+      static_cast<int>(std::lround(total * hp_fraction)), 0, total);
+  append_tasks(set, kind, n_hp, total - n_hp, row.task_jps, rng);
+  return set;
+}
+
+TaskSetSpec mixed_taskset(std::uint64_t seed) {
+  common::Rng rng(seed);
+  TaskSetSpec set;
+  set.name = "mixed";
+  // One third of each Table II set, preserving the 2:1 LP:HP ratio.
+  append_tasks(set, dnn::ModelKind::kResNet18, 6, 12, 30.0, rng);
+  append_tasks(set, dnn::ModelKind::kUNet, 2, 3, 24.0, rng);
+  append_tasks(set, dnn::ModelKind::kInceptionV3, 3, 6, 24.0, rng);
+  return set;
+}
+
+TaskSetSpec resnet50_taskset(std::uint64_t seed) {
+  return table2_taskset(dnn::ModelKind::kResNet50, seed);
+}
+
+}  // namespace daris::workload

@@ -1,0 +1,93 @@
+// Baseline servers: batching (upper), single-stream (lower), GSlice-like,
+// Clockwork-like.
+#include <gtest/gtest.h>
+
+#include "baselines/batching_server.h"
+#include "baselines/clockwork_server.h"
+#include "baselines/gslice_server.h"
+#include "workload/taskset.h"
+
+namespace daris::baselines {
+namespace {
+
+TEST(BatchingServer, SingleStreamMatchesTable1Min) {
+  const gpusim::GpuSpec spec;
+  const auto r = measure_batched_jps(dnn::ModelKind::kResNet18, 1, spec, 1.0);
+  EXPECT_NEAR(r.jps, 627.0, 25.0);
+  EXPECT_GT(r.batches, 100u);
+}
+
+TEST(BatchingServer, ThroughputGrowsWithBatch) {
+  const gpusim::GpuSpec spec;
+  double prev = 0.0;
+  for (int b : {1, 4, 16}) {
+    const auto r = measure_batched_jps(dnn::ModelKind::kInceptionV3, b, spec, 1.0);
+    EXPECT_GT(r.jps, prev);
+    prev = r.jps;
+  }
+}
+
+TEST(BatchingServer, BestSweepAtLeastAsGoodAsFixed) {
+  const gpusim::GpuSpec spec;
+  const auto best = best_batched_jps(dnn::ModelKind::kUNet, spec, 1.0);
+  const auto b4 = measure_batched_jps(dnn::ModelKind::kUNet, 4, spec, 1.0);
+  EXPECT_GE(best.jps, b4.jps * 0.99);
+}
+
+TEST(BatchingServer, LatencyConsistentWithThroughput) {
+  const gpusim::GpuSpec spec;
+  const auto r = measure_batched_jps(dnn::ModelKind::kResNet50, 8, spec, 1.0);
+  EXPECT_NEAR(r.jps, 8.0 * 1e3 / r.batch_latency_ms, r.jps * 0.02);
+}
+
+TEST(GSlice, BeatsPlainBatchingSlightly) {
+  // Sec. VI-B: GSlice gains ~3.5% over pure batching by spatially sharing
+  // slices (tail filling + launch hiding).
+  const gpusim::GpuSpec spec;
+  const auto batching = best_batched_jps(dnn::ModelKind::kResNet50, spec, 1.5);
+  const auto gslice = best_gslice_jps(dnn::ModelKind::kResNet50, spec, 1.5);
+  EXPECT_GT(gslice.jps, batching.jps * 0.99);
+  EXPECT_LT(gslice.jps, batching.jps * 1.15);
+}
+
+TEST(GSlice, ReportsConfiguration) {
+  const gpusim::GpuSpec spec;
+  const auto r = measure_gslice_jps(dnn::ModelKind::kResNet50, 2, 8, spec, 0.5);
+  EXPECT_EQ(r.slices, 2);
+  EXPECT_EQ(r.batch, 8);
+  EXPECT_GT(r.jps, 0.0);
+}
+
+TEST(Clockwork, SerializedThroughputNearSingleStream) {
+  gpusim::GpuSpec spec;
+  spec.jitter_cv = 0.0;
+  // A modest task set the serialised executor can keep up with.
+  const auto set = workload::scaled_taskset(dnn::ModelKind::kResNet18, 0.25,
+                                            0.34);
+  const auto r = run_clockwork(set, spec, 2.0);
+  EXPECT_GT(r.jps, 0.0);
+  EXPECT_LE(r.jps, 660.0);  // never above the single-stream rate
+}
+
+TEST(Clockwork, NoMissesThanksToPredictedLatencyDrops) {
+  gpusim::GpuSpec spec;
+  spec.jitter_cv = 0.0;
+  // Overloaded: Clockwork drops late jobs up front instead of missing.
+  const auto set = workload::table2_taskset(dnn::ModelKind::kResNet18);
+  const auto r = run_clockwork(set, spec, 2.0);
+  EXPECT_GT(r.drop_rate, 0.3);  // way oversubscribed for one-at-a-time
+  EXPECT_LT(r.hp_dmr, 0.02);
+  EXPECT_LT(r.lp_dmr, 0.02);
+}
+
+TEST(Clockwork, ThroughputFarBelowDaris) {
+  // The predictability-vs-throughput trade-off the paper motivates: the
+  // serialised executor leaves throughput on the table.
+  gpusim::GpuSpec spec;
+  const auto set = workload::table2_taskset(dnn::ModelKind::kResNet18);
+  const auto r = run_clockwork(set, spec, 2.0);
+  EXPECT_LT(r.jps, 700.0);  // DARIS reaches ~1150 on this set
+}
+
+}  // namespace
+}  // namespace daris::baselines

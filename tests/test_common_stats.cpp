@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace daris::common {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic data set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesBulk) {
+  OnlineStats a, b, all;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentiles, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.percentile(50), 0.0);
+  EXPECT_EQ(p.mean(), 0.0);
+}
+
+TEST(Percentiles, NearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_EQ(p.percentile(0), 1.0);
+  EXPECT_EQ(p.percentile(50), 50.0);
+  EXPECT_EQ(p.percentile(95), 95.0);
+  EXPECT_EQ(p.percentile(100), 100.0);
+  EXPECT_EQ(p.min(), 1.0);
+  EXPECT_EQ(p.max(), 100.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(Percentiles, UnsortedInput) {
+  Percentiles p;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) p.add(x);
+  EXPECT_EQ(p.median(), 5.0);
+  EXPECT_EQ(p.min(), 1.0);
+  EXPECT_EQ(p.max(), 9.0);
+}
+
+TEST(Percentiles, AddAfterQueryStillCorrect) {
+  Percentiles p;
+  p.add(10.0);
+  EXPECT_EQ(p.median(), 10.0);
+  p.add(20.0);
+  p.add(0.0);
+  EXPECT_EQ(p.median(), 10.0);
+  EXPECT_EQ(p.max(), 20.0);
+}
+
+TEST(SlidingWindowMax, EmptyFallback) {
+  SlidingWindowMax w(5);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.max_or(42.0), 42.0);
+}
+
+TEST(SlidingWindowMax, TracksMaximum) {
+  SlidingWindowMax w(3);
+  w.push(1.0);
+  EXPECT_EQ(w.max_or(0), 1.0);
+  w.push(5.0);
+  EXPECT_EQ(w.max_or(0), 5.0);
+  w.push(2.0);
+  EXPECT_EQ(w.max_or(0), 5.0);
+}
+
+TEST(SlidingWindowMax, OldMaximumExpires) {
+  SlidingWindowMax w(3);
+  w.push(9.0);
+  w.push(2.0);
+  w.push(3.0);
+  EXPECT_EQ(w.max_or(0), 9.0);
+  w.push(1.0);  // 9 falls out of the window {2,3,1}
+  EXPECT_EQ(w.max_or(0), 3.0);
+  w.push(1.0);  // {3,1,1}
+  EXPECT_EQ(w.max_or(0), 3.0);
+  w.push(1.0);  // {1,1,1}
+  EXPECT_EQ(w.max_or(0), 1.0);
+}
+
+TEST(SlidingWindowMax, CapacityOneIsLastValue) {
+  SlidingWindowMax w(1);
+  w.push(5.0);
+  w.push(2.0);
+  EXPECT_EQ(w.max_or(0), 2.0);
+  w.push(7.0);
+  EXPECT_EQ(w.max_or(0), 7.0);
+}
+
+TEST(SlidingWindowMax, ZeroCapacityClampedToOne) {
+  SlidingWindowMax w(0);
+  EXPECT_EQ(w.capacity(), 1u);
+  w.push(3.0);
+  EXPECT_EQ(w.max_or(0), 3.0);
+}
+
+/// Property check against a brute-force window over random inputs — this is
+/// the MRET window (Eq. 1), so correctness matters.
+class SlidingWindowMaxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlidingWindowMaxProperty, MatchesBruteForce) {
+  const int capacity = GetParam();
+  SlidingWindowMax w(static_cast<std::size_t>(capacity));
+  Rng rng(1000 + static_cast<std::uint64_t>(capacity));
+  std::vector<double> history;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    history.push_back(x);
+    w.push(x);
+    const std::size_t start =
+        history.size() > static_cast<std::size_t>(capacity)
+            ? history.size() - static_cast<std::size_t>(capacity)
+            : 0;
+    const double expect =
+        *std::max_element(history.begin() + static_cast<long>(start),
+                          history.end());
+    ASSERT_DOUBLE_EQ(w.max_or(-1.0), expect) << "at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SlidingWindowMaxProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64));
+
+}  // namespace
+}  // namespace daris::common

@@ -1,0 +1,271 @@
+// Online-phase behaviour of the DARIS scheduler: staging, priorities,
+// migration, stream holding, and the ablation switches.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "daris/scheduler.h"
+#include "dnn/calibration.h"
+#include "dnn/zoo.h"
+#include "gpusim/gpu.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/taskset.h"
+
+namespace daris::rt {
+namespace {
+
+using common::from_ms;
+using common::from_sec;
+
+struct Harness {
+  sim::Simulator sim;
+  gpusim::GpuSpec spec;
+  std::unique_ptr<gpusim::Gpu> gpu;
+  metrics::Collector collector;
+  std::unique_ptr<Scheduler> sched;
+  std::unique_ptr<dnn::CompiledModel> model;
+
+  explicit Harness(SchedulerConfig cfg, bool jitter = false) {
+    if (!jitter) spec.jitter_cv = 0.0;
+    gpu = std::make_unique<gpusim::Gpu>(sim, spec);
+    model = std::make_unique<dnn::CompiledModel>(
+        dnn::compiled_model(dnn::ModelKind::kResNet18, 1, spec));
+    sched = std::make_unique<Scheduler>(sim, *gpu, cfg, &collector);
+  }
+
+  int add_task(Priority p, double period_ms, double afet_stage_us = 500.0) {
+    TaskSpec t;
+    t.model = dnn::ModelKind::kResNet18;
+    t.period = from_ms(period_ms);
+    t.relative_deadline = t.period;
+    t.priority = p;
+    const int id = sched->add_task(t, model.get());
+    sched->set_afet(id, std::vector<double>(model->stage_count(),
+                                            afet_stage_us));
+    return id;
+  }
+};
+
+SchedulerConfig mps_config(int contexts, double os) {
+  SchedulerConfig c;
+  c.policy = Policy::kMps;
+  c.num_contexts = contexts;
+  c.oversubscription = os;
+  return c;
+}
+
+TEST(Scheduler, SingleJobRunsToCompletion) {
+  Harness h(mps_config(2, 2.0));
+  const int id = h.add_task(Priority::kHigh, 50.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(id);
+  h.sim.run();
+  EXPECT_EQ(h.sched->jobs_completed(), 1u);
+  EXPECT_EQ(h.collector.summary(Priority::kHigh).completed, 1u);
+  EXPECT_EQ(h.collector.summary(Priority::kHigh).missed, 0u);
+  EXPECT_EQ(h.sched->jobs_in_flight(), 0u);
+}
+
+TEST(Scheduler, PeriodicTaskCompletesEveryPeriod) {
+  Harness h(mps_config(2, 2.0));
+  const int id = h.add_task(Priority::kHigh, 20.0);
+  h.sched->run_offline_phase();
+  workload::PeriodicDriver driver(h.sim, *h.sched, from_ms(99.0));
+  (void)id;
+  driver.start();
+  h.sim.run();
+  EXPECT_EQ(h.sched->jobs_completed(), 5u);  // releases at 0,20,...,80
+}
+
+TEST(Scheduler, ResponseTimeMatchesAnalyticWhenAlone) {
+  Harness h(mps_config(1, 1.0));
+  const int id = h.add_task(Priority::kHigh, 100.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(id);
+  h.sim.run();
+  const double resp_ms =
+      h.collector.summary(Priority::kHigh).response_ms.max();
+  // Response = exec + (n_stages - 1) host syncs at stage boundaries.
+  const double expected_ms =
+      dnn::analytic_sequential_latency_us(*h.model, h.spec) / 1e3 +
+      (h.model->stage_count() - 1) * h.spec.sync_overhead_us / 1e3;
+  EXPECT_NEAR(resp_ms, expected_ms, 0.10);
+}
+
+TEST(Scheduler, HpStagePreemptsQueuedLpAtBoundary) {
+  // One context, one stream. A long LP job is running; an HP job released
+  // mid-flight must be served at the next stage boundary, ahead of the LP
+  // job's remaining stages.
+  Harness h(mps_config(1, 1.0));
+  const int lp = h.add_task(Priority::kLow, 100.0);
+  const int hp = h.add_task(Priority::kHigh, 100.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(lp);
+  h.sim.schedule_at(from_ms(0.2), [&] { h.sched->release_job(hp); });
+  h.sim.run();
+  const double hp_resp = h.collector.summary(Priority::kHigh).response_ms.max();
+  const double lp_resp = h.collector.summary(Priority::kLow).response_ms.max();
+  EXPECT_LT(hp_resp, lp_resp);
+}
+
+TEST(Scheduler, NoStagingRunsJobsAsUnits) {
+  SchedulerConfig cfg = mps_config(1, 1.0);
+  cfg.staging = false;
+  Harness h(cfg);
+  const int lp = h.add_task(Priority::kLow, 100.0);
+  const int hp = h.add_task(Priority::kHigh, 100.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(lp);
+  h.sim.schedule_at(from_ms(0.2), [&] { h.sched->release_job(hp); });
+  h.sim.run();
+  // Without staging the HP job waits for the LP job's full execution:
+  // response ~ LP remaining + HP exec, i.e. roughly double the staged case.
+  const double hp_resp = h.collector.summary(Priority::kHigh).response_ms.max();
+  EXPECT_GT(hp_resp, 2.5);  // full LP job (~1.6ms) + own exec (~1.6ms)
+  EXPECT_EQ(h.sched->jobs_completed(), 2u);
+}
+
+TEST(Scheduler, MigrationMovesLpToFreeContext) {
+  // Two contexts; context of the LP task is saturated by an HP task with
+  // huge utilisation, so the LP job must migrate.
+  Harness h(mps_config(2, 2.0));
+  const int hp = h.add_task(Priority::kHigh, 10.0, 2400.0);  // u ~ 0.96
+  const int lp = h.add_task(Priority::kLow, 10.0, 500.0);
+  h.sched->run_offline_phase();
+  // Force both onto context 0 to create the conflict.
+  h.sched->task(hp).set_context(0);
+  h.sched->task(lp).set_context(0);
+  h.sched->release_job(lp);
+  h.sim.run();
+  EXPECT_EQ(h.sched->migrations(), 1u);
+  EXPECT_EQ(h.sched->task(lp).context(), 1);
+  EXPECT_EQ(h.collector.summary(Priority::kLow).completed, 1u);
+}
+
+TEST(Scheduler, LpRejectedWhenNoContextPasses) {
+  Harness h(mps_config(2, 2.0));
+  // Both contexts saturated by HP reservations.
+  const int hp0 = h.add_task(Priority::kHigh, 10.0, 2500.0);
+  const int hp1 = h.add_task(Priority::kHigh, 10.0, 2500.0);
+  const int lp = h.add_task(Priority::kLow, 10.0, 500.0);
+  (void)hp0;
+  (void)hp1;
+  h.sched->run_offline_phase();
+  h.sched->release_job(lp);
+  h.sim.run();
+  EXPECT_EQ(h.collector.summary(Priority::kLow).rejected, 1u);
+  EXPECT_EQ(h.collector.summary(Priority::kLow).completed, 0u);
+}
+
+TEST(Scheduler, HpBypassesAdmissionByDefault) {
+  Harness h(mps_config(1, 1.0));
+  // Two HP tasks sum to utilisation > 1; both still admitted.
+  const int a = h.add_task(Priority::kHigh, 10.0, 2000.0);
+  const int b = h.add_task(Priority::kHigh, 10.0, 2000.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(a);
+  h.sched->release_job(b);
+  h.sim.run();
+  EXPECT_EQ(h.collector.summary(Priority::kHigh).completed, 2u);
+  EXPECT_EQ(h.collector.summary(Priority::kHigh).rejected, 0u);
+}
+
+TEST(Scheduler, HpaShedsExcessHpJobs) {
+  SchedulerConfig cfg = mps_config(1, 1.0);
+  cfg.hp_admission = true;
+  Harness h(cfg);
+  std::vector<int> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(h.add_task(Priority::kHigh, 10.0, 1200.0));  // u ~ 0.48
+  }
+  h.sched->run_offline_phase();
+  for (int id : ids) h.sched->release_job(id);
+  h.sim.run();
+  const auto& hp = h.collector.summary(Priority::kHigh);
+  EXPECT_GT(hp.rejected, 0u);  // at least one shed
+  EXPECT_GT(hp.completed, 0u);
+  EXPECT_EQ(hp.missed, 0u);  // the admitted ones meet their deadlines
+}
+
+TEST(Scheduler, BacklogGuardShedsBurst) {
+  SchedulerConfig cfg = mps_config(1, 1.0);
+  cfg.max_backlog_per_task = 2;
+  Harness h(cfg);
+  const int id = h.add_task(Priority::kHigh, 100.0);
+  h.sched->run_offline_phase();
+  for (int i = 0; i < 5; ++i) h.sched->release_job(id);
+  h.sim.run();
+  const auto& hp = h.collector.summary(Priority::kHigh);
+  EXPECT_EQ(hp.completed, 2u);
+  EXPECT_EQ(hp.rejected, 3u);
+}
+
+TEST(Scheduler, DeadlineMissDetected) {
+  Harness h(mps_config(1, 1.0));
+  // Period/deadline of 1 ms against ~1.6 ms execution: must miss.
+  const int id = h.add_task(Priority::kHigh, 1.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(id);
+  h.sim.run();
+  EXPECT_EQ(h.collector.summary(Priority::kHigh).missed, 1u);
+}
+
+TEST(Scheduler, StageEventsRecordedForMret) {
+  Harness h(mps_config(1, 1.0));
+  h.collector.enable_stage_trace(true);
+  const int id = h.add_task(Priority::kHigh, 50.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(id);
+  h.sim.run();
+  ASSERT_EQ(h.collector.stage_trace().size(), h.model->stage_count());
+  for (const auto& ev : h.collector.stage_trace()) {
+    EXPECT_GT(ev.execution_us, 0.0);
+    EXPECT_GT(ev.mret_us, 0.0);  // AFET seed was in force
+  }
+  // MRET updated from the measured execution times.
+  const auto& mret = h.sched->task(id).mret();
+  EXPECT_EQ(mret.observations(0), 1u);
+}
+
+TEST(Scheduler, MultiStreamContextRunsJobsConcurrently) {
+  SchedulerConfig cfg;
+  cfg.policy = Policy::kStr;
+  cfg.streams_per_context = 2;
+  Harness h(cfg);
+  const int a = h.add_task(Priority::kLow, 100.0);
+  const int b = h.add_task(Priority::kLow, 100.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(a);
+  h.sched->release_job(b);
+  h.sim.run();
+  // Two concurrent jobs sharing the device finish well before 2x the
+  // serialised latency.
+  const double max_resp = h.collector.summary(Priority::kLow).response_ms.max();
+  const double serial_ms =
+      2.0 * dnn::analytic_sequential_latency_us(*h.model, h.spec) / 1e3;
+  EXPECT_LT(max_resp, serial_ms * 0.95);
+}
+
+TEST(Scheduler, UtilizationAccountingReturnsToZero) {
+  Harness h(mps_config(2, 2.0));
+  const int lp = h.add_task(Priority::kLow, 50.0);
+  h.sched->run_offline_phase();
+  h.sched->release_job(lp);
+  EXPECT_GT(h.sched->active_lp_utilization(h.sched->task(lp).context()), 0.0);
+  h.sim.run();
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_DOUBLE_EQ(h.sched->active_lp_utilization(c), 0.0);
+  }
+}
+
+TEST(Scheduler, RemainingUtilizationReflectsHpReservation) {
+  Harness h(mps_config(1, 1.0));
+  h.add_task(Priority::kHigh, 10.0, 1000.0);  // u = 0.4
+  h.sched->run_offline_phase();
+  EXPECT_NEAR(h.sched->remaining_utilization(0), 1.0 - 0.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace daris::rt

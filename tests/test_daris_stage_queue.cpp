@@ -1,0 +1,134 @@
+// The eight fixed stage-priority levels and EDF ordering (Sec. IV-B2).
+#include <gtest/gtest.h>
+
+#include "daris/stage_queue.h"
+
+namespace daris::rt {
+namespace {
+
+SchedulerConfig full_config() {
+  SchedulerConfig c;
+  c.fixed_levels = true;
+  c.prioritize_last_stage = true;
+  c.boost_after_miss = true;
+  return c;
+}
+
+TEST(StageLevel, EightDistinctLevels) {
+  const SchedulerConfig c = full_config();
+  // HP: last+miss < last < miss < normal, then the same for LP.
+  EXPECT_EQ(stage_level(c, Priority::kHigh, true, true), 0);
+  EXPECT_EQ(stage_level(c, Priority::kHigh, true, false), 1);
+  EXPECT_EQ(stage_level(c, Priority::kHigh, false, true), 2);
+  EXPECT_EQ(stage_level(c, Priority::kHigh, false, false), 3);
+  EXPECT_EQ(stage_level(c, Priority::kLow, true, true), 4);
+  EXPECT_EQ(stage_level(c, Priority::kLow, true, false), 5);
+  EXPECT_EQ(stage_level(c, Priority::kLow, false, true), 6);
+  EXPECT_EQ(stage_level(c, Priority::kLow, false, false), 7);
+}
+
+TEST(StageLevel, HpAlwaysBeatsLp) {
+  const SchedulerConfig c = full_config();
+  // Even the weakest HP stage outranks the strongest LP stage.
+  EXPECT_LT(stage_level(c, Priority::kHigh, false, false),
+            stage_level(c, Priority::kLow, true, true));
+}
+
+TEST(StageLevel, NoLastAblationDropsLastBoost) {
+  SchedulerConfig c = full_config();
+  c.prioritize_last_stage = false;
+  EXPECT_EQ(stage_level(c, Priority::kHigh, true, false),
+            stage_level(c, Priority::kHigh, false, false));
+}
+
+TEST(StageLevel, NoPriorAblationDropsMissBoost) {
+  SchedulerConfig c = full_config();
+  c.boost_after_miss = false;
+  EXPECT_EQ(stage_level(c, Priority::kHigh, false, true),
+            stage_level(c, Priority::kHigh, false, false));
+}
+
+TEST(StageLevel, NoFixedAblationCollapsesEverything) {
+  SchedulerConfig c = full_config();
+  c.fixed_levels = false;
+  EXPECT_EQ(stage_level(c, Priority::kHigh, true, true), 0);
+  EXPECT_EQ(stage_level(c, Priority::kLow, false, false), 0);
+}
+
+TEST(StageQueue, PopsByLevelThenDeadline) {
+  StageQueue q;
+  ReadyStage a;
+  a.level = 3;
+  a.deadline = 100;
+  ReadyStage b;
+  b.level = 1;
+  b.deadline = 500;
+  ReadyStage c;
+  c.level = 1;
+  c.deadline = 200;
+  q.push(a);
+  q.push(b);
+  q.push(c);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().deadline, 200);  // level 1, earlier deadline
+  EXPECT_EQ(q.pop().deadline, 500);  // level 1
+  EXPECT_EQ(q.pop().deadline, 100);  // level 3
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(StageQueue, FifoTieBreakIsDeterministic) {
+  StageQueue q;
+  for (int i = 0; i < 5; ++i) {
+    ReadyStage s;
+    s.level = 2;
+    s.deadline = 100;
+    s.stage = static_cast<std::size_t>(i);
+    q.push(s);
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.pop().stage, i);
+  }
+}
+
+TEST(StageQueue, PeekDoesNotRemove) {
+  StageQueue q;
+  ReadyStage a;
+  a.level = 0;
+  a.deadline = 7;
+  q.push(a);
+  EXPECT_EQ(q.peek().deadline, 7);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+/// EDF property under random loads: pops are sorted by (level, deadline).
+TEST(StageQueue, PropertySortedness) {
+  StageQueue q;
+  std::uint64_t x = 88172645463325252ull;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int i = 0; i < 500; ++i) {
+    ReadyStage s;
+    s.level = static_cast<int>(next() % 8);
+    s.deadline = static_cast<Time>(next() % 10000);
+    q.push(s);
+  }
+  int prev_level = -1;
+  Time prev_deadline = -1;
+  while (!q.empty()) {
+    const ReadyStage s = q.pop();
+    if (s.level == prev_level) {
+      EXPECT_GE(s.deadline, prev_deadline);
+    } else {
+      EXPECT_GT(s.level, prev_level);
+    }
+    prev_level = s.level;
+    prev_deadline = s.deadline;
+  }
+}
+
+}  // namespace
+}  // namespace daris::rt

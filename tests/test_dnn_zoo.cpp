@@ -1,0 +1,98 @@
+// Structural checks of the model zoo against the published architectures.
+#include <gtest/gtest.h>
+
+#include "dnn/zoo.h"
+
+namespace daris::dnn {
+namespace {
+
+TEST(Zoo, AllModelsHaveFourStages) {
+  for (auto kind : {ModelKind::kResNet18, ModelKind::kResNet50,
+                    ModelKind::kUNet, ModelKind::kInceptionV3}) {
+    EXPECT_EQ(network(kind).stages.size(), 4u) << model_name(kind);
+  }
+}
+
+TEST(Zoo, ResNet18LayerBudget) {
+  const NetworkDef net = resnet18();
+  // 17 convs (16 block convs + stem, + 3 downsamples) + pool + 8 adds +
+  // avgpool + fc = 31 lowered kernels.
+  EXPECT_EQ(net.layer_count(), 31u);
+  // ~1.8 GMACs for ResNet18 at 224x224 (flops = 2 * MACs).
+  EXPECT_NEAR(net.total_flops() / 2e9, 1.8, 0.4);
+}
+
+TEST(Zoo, ResNet50FlopBudget) {
+  const NetworkDef net = resnet50();
+  // ~4.1 GMACs at 224x224 (flops = 2 * MACs).
+  EXPECT_NEAR(net.total_flops() / 2e9, 4.1, 0.8);
+  EXPECT_GT(net.layer_count(), 60u);
+}
+
+TEST(Zoo, UNetIsTheWidestAndHeaviest) {
+  const NetworkDef u = unet();
+  const NetworkDef r = resnet18();
+  EXPECT_GT(u.total_flops(), 5.0 * r.total_flops());
+  // Decoder output stage works at full 224x224 resolution.
+  double max_elems = 0.0;
+  for (const auto& s : u.stages) {
+    for (const auto& l : s.layers) max_elems = std::max(max_elems, l.out_elems);
+  }
+  EXPECT_GE(max_elems, 224.0 * 224.0 * 64.0);
+}
+
+TEST(Zoo, InceptionHasManySmallKernels) {
+  const NetworkDef net = inception_v3();
+  EXPECT_GT(net.layer_count(), 100u);  // many per-branch convolutions
+  // ~5.7 GMACs at 299x299 (flops = 2 * MACs).
+  EXPECT_NEAR(net.total_flops() / 2e9, 5.7, 1.2);
+  // Mean output size far below ResNet18's (narrow kernels).
+  auto mean_out = [](const NetworkDef& n) {
+    double sum = 0.0;
+    std::size_t cnt = 0;
+    for (const auto& s : n.stages) {
+      for (const auto& l : s.layers) {
+        sum += l.out_elems;
+        ++cnt;
+      }
+    }
+    return sum / static_cast<double>(cnt);
+  };
+  EXPECT_LT(mean_out(net), mean_out(resnet18()));
+}
+
+TEST(Zoo, Table1ReferenceValues) {
+  EXPECT_EQ(table1_reference(ModelKind::kResNet18).min_jps, 627.0);
+  EXPECT_EQ(table1_reference(ModelKind::kResNet18).max_jps, 1025.0);
+  EXPECT_EQ(table1_reference(ModelKind::kResNet50).max_jps, 433.0);
+  EXPECT_EQ(table1_reference(ModelKind::kUNet).batching_gain, 1.08);
+  EXPECT_EQ(table1_reference(ModelKind::kInceptionV3).batching_gain, 3.13);
+}
+
+TEST(Zoo, ModelNames) {
+  EXPECT_STREQ(model_name(ModelKind::kResNet18), "ResNet18");
+  EXPECT_STREQ(model_name(ModelKind::kResNet50), "ResNet50");
+  EXPECT_STREQ(model_name(ModelKind::kUNet), "UNet");
+  EXPECT_STREQ(model_name(ModelKind::kInceptionV3), "InceptionV3");
+}
+
+TEST(Zoo, CompiledModelMatchesNetworkStructure) {
+  const gpusim::GpuSpec spec;
+  const CompiledModel m = compiled_model(ModelKind::kResNet18, 1, spec);
+  const NetworkDef net = resnet18();
+  EXPECT_EQ(m.stage_count(), net.stages.size());
+  EXPECT_EQ(m.kernel_count(), net.layer_count());
+  EXPECT_EQ(m.name, net.name);
+  EXPECT_EQ(m.batch, 1);
+}
+
+TEST(Zoo, CalibratedParamsAreCached) {
+  const gpusim::GpuSpec spec;
+  const LoweringParams a = calibrated_params(ModelKind::kUNet, spec);
+  const LoweringParams b = calibrated_params(ModelKind::kUNet, spec);
+  EXPECT_EQ(a.work_scale, b.work_scale);
+  EXPECT_EQ(a.par_scale, b.par_scale);
+}
+
+}  // namespace
+}  // namespace daris::dnn

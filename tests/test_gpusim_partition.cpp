@@ -1,0 +1,84 @@
+// Eq. 9 partitioning: NSM = ceil_even(OS * NSM,max / Nc).
+#include <gtest/gtest.h>
+
+#include "gpusim/partition.h"
+
+namespace daris::gpusim {
+namespace {
+
+TEST(Partition, CeilEven) {
+  EXPECT_EQ(ceil_even(1.0), 2);
+  EXPECT_EQ(ceil_even(2.0), 2);
+  EXPECT_EQ(ceil_even(2.1), 4);
+  EXPECT_EQ(ceil_even(11.33), 12);
+  EXPECT_EQ(ceil_even(12.0), 12);
+  EXPECT_EQ(ceil_even(0.5), 2);
+  EXPECT_EQ(ceil_even(68.0), 68);
+}
+
+TEST(Partition, PaperConfigurations) {
+  const GpuSpec spec;  // 68 SMs
+  // OS = 1, Nc = 6: ceil_even(68/6) = ceil_even(11.33) = 12.
+  EXPECT_EQ(sm_quota_per_context(spec, 6, 1.0), 12);
+  // OS = 2, Nc = 6: ceil_even(136/6) = ceil_even(22.67) = 24.
+  EXPECT_EQ(sm_quota_per_context(spec, 6, 2.0), 24);
+  // OS = Nc: full sharing.
+  EXPECT_EQ(sm_quota_per_context(spec, 6, 6.0), 68);
+  // OS = 1.5, Nc = 6: ceil_even(17) = 18.
+  EXPECT_EQ(sm_quota_per_context(spec, 6, 1.5), 18);
+  // Nc = 8, OS = 1: ceil_even(8.5) = 10.
+  EXPECT_EQ(sm_quota_per_context(spec, 8, 1.0), 10);
+}
+
+TEST(Partition, SingleContextOwnsDevice) {
+  const GpuSpec spec;
+  EXPECT_EQ(sm_quota_per_context(spec, 1, 1.0), 68);
+}
+
+TEST(Partition, OversubscriptionClampedToValidRange) {
+  const GpuSpec spec;
+  // OS below 1 behaves as 1; OS above Nc behaves as Nc.
+  EXPECT_EQ(sm_quota_per_context(spec, 4, 0.1),
+            sm_quota_per_context(spec, 4, 1.0));
+  EXPECT_EQ(sm_quota_per_context(spec, 4, 100.0),
+            sm_quota_per_context(spec, 4, 4.0));
+}
+
+TEST(Partition, QuotaNeverExceedsDevice) {
+  const GpuSpec spec;
+  for (int nc = 1; nc <= 12; ++nc) {
+    for (double os : {1.0, 1.5, 2.0, static_cast<double>(nc)}) {
+      EXPECT_LE(sm_quota_per_context(spec, nc, os), spec.sm_count)
+          << "Nc=" << nc << " OS=" << os;
+    }
+  }
+}
+
+TEST(Partition, QuotasVectorUniform) {
+  const GpuSpec spec;
+  const auto quotas = partition_quotas(spec, 6, 2.0);
+  ASSERT_EQ(quotas.size(), 6u);
+  for (int q : quotas) EXPECT_EQ(q, 24);
+}
+
+/// Property sweep: quotas are even, positive, monotone in OS.
+class PartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionProperty, EvenPositiveMonotone) {
+  const GpuSpec spec;
+  const int nc = GetParam();
+  int prev = 0;
+  for (double os = 1.0; os <= nc + 0.01; os += 0.25) {
+    const int q = sm_quota_per_context(spec, nc, os);
+    EXPECT_GT(q, 0);
+    EXPECT_TRUE(q % 2 == 0 || q == spec.sm_count);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contexts, PartitionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10));
+
+}  // namespace
+}  // namespace daris::gpusim

@@ -1,0 +1,244 @@
+// Resource-sharing behaviour: water-filling, oversubscription rescale,
+// wave quantisation, intra-context penalty, small-quota penalty, and the
+// memory-bandwidth cap — the mechanisms behind the paper's concurrency
+// observations.
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "gpusim/gpu.h"
+#include "sim/simulator.h"
+
+namespace daris::gpusim {
+namespace {
+
+using common::from_us;
+using common::to_us;
+
+GpuSpec ideal_spec() {
+  GpuSpec s;
+  s.jitter_cv = 0.0;
+  s.quant_smoothing = 1.0;
+  s.alpha_intra = 0.0;
+  s.kappa_oversub = 0.0;
+  s.quota_penalty_a = 0.0;
+  s.launch_overhead_us = 0.0;
+  s.mem_bandwidth = 1e9;
+  return s;
+}
+
+/// Runs one kernel per stream and returns per-stream finish times (us).
+template <typename MakeGpu>
+std::vector<double> co_run(MakeGpu&& make,
+                           const std::vector<KernelDesc>& kernels,
+                           const std::vector<int>& ctx_of_kernel,
+                           const std::vector<double>& quotas) {
+  sim::Simulator sim;
+  Gpu gpu = make(sim);
+  std::vector<ContextId> ctxs;
+  for (double q : quotas) ctxs.push_back(gpu.create_context(q));
+  std::vector<double> finish(kernels.size(), 0.0);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto s = gpu.create_stream(
+        ctxs[static_cast<std::size_t>(ctx_of_kernel[i])]);
+    gpu.launch_kernel(s, kernels[i]);
+    gpu.enqueue_callback(s, [&finish, &sim, i] { finish[i] = to_us(sim.now()); });
+  }
+  sim.run();
+  return finish;
+}
+
+TEST(GpuSharing, TwoKernelsShareContextQuotaEvenly) {
+  KernelDesc k;
+  k.work = 100.0;
+  k.parallelism = 100.0;
+  auto f = co_run([](sim::Simulator& s) { return Gpu(s, ideal_spec()); },
+                  {k, k}, {0, 0}, {20.0});
+  // Each gets 10 SMs -> 10 us.
+  EXPECT_NEAR(f[0], 10.0, 0.05);
+  EXPECT_NEAR(f[1], 10.0, 0.05);
+}
+
+TEST(GpuSharing, WaterFillGivesNarrowKernelItsFullDemand) {
+  KernelDesc narrow;
+  narrow.work = 20.0;
+  narrow.parallelism = 4.0;  // wants only 4 SMs
+  KernelDesc wide;
+  wide.work = 160.0;
+  wide.parallelism = 100.0;
+  auto f = co_run([](sim::Simulator& s) { return Gpu(s, ideal_spec()); },
+                  {narrow, wide}, {0, 0}, {20.0});
+  // Narrow: 4 SMs -> 5 us. Wide: 16 SMs for the first 5 us (80 SM-us done),
+  // then the full 20-SM quota for the remaining 80 SM-us -> 9 us total.
+  EXPECT_NEAR(f[0], 5.0, 0.05);
+  EXPECT_NEAR(f[1], 9.0, 0.10);
+}
+
+TEST(GpuSharing, OversubscribedQuotasRescaleToPhysicalSms) {
+  // Two contexts, each with quota 68 (OS = 2 on a 68-SM device).
+  KernelDesc k;
+  k.work = 340.0;
+  k.parallelism = 100.0;
+  auto f = co_run([](sim::Simulator& s) { return Gpu(s, ideal_spec()); },
+                  {k, k}, {0, 1}, {68.0, 68.0});
+  // Each would take 68, rescaled to 34 -> 10 us.
+  EXPECT_NEAR(f[0], 10.0, 0.05);
+  EXPECT_NEAR(f[1], 10.0, 0.05);
+}
+
+TEST(GpuSharing, IsolatedQuotaStrandsIdleSms) {
+  // OS = 1: one busy context cannot expand into the other's idle quota.
+  KernelDesc k;
+  k.work = 340.0;
+  k.parallelism = 100.0;
+  auto f = co_run([](sim::Simulator& s) { return Gpu(s, ideal_spec()); },
+                  {k}, {0}, {34.0, 34.0});
+  EXPECT_NEAR(f[0], 10.0, 0.05);  // 34 SMs only, though 68 exist
+}
+
+TEST(GpuSharing, WaveQuantizationRoundsUpWaves) {
+  GpuSpec spec = ideal_spec();
+  spec.quant_smoothing = 0.0;  // hard ceil
+  KernelDesc k;
+  k.work = 100.0;
+  k.parallelism = 100.0;
+  // Share = 40 SMs => ceil(100/40) = 3 waves; rate = 100/3 = 33.3.
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k}, {0},
+                  {40.0});
+  EXPECT_NEAR(f[0], 3.0, 0.05);
+}
+
+TEST(GpuSharing, SingleWaveHasNoQuantizationLoss) {
+  GpuSpec spec = ideal_spec();
+  spec.quant_smoothing = 0.0;
+  KernelDesc k;
+  k.work = 100.0;
+  k.parallelism = 40.0;  // fits into the quota in one wave
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k}, {0},
+                  {68.0});
+  EXPECT_NEAR(f[0], 2.5, 0.05);  // 100/40
+}
+
+TEST(GpuSharing, IntraContextPenaltySlowsCoResidentStreams) {
+  GpuSpec spec = ideal_spec();
+  spec.alpha_intra = 0.5;  // two streams -> eff = 1/1.5
+  KernelDesc k;
+  k.work = 100.0;
+  k.parallelism = 100.0;
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k, k},
+                  {0, 0}, {20.0});
+  // 10 SMs each * 2/3 efficiency -> 15 us.
+  EXPECT_NEAR(f[0], 15.0, 0.10);
+}
+
+TEST(GpuSharing, CrossContextAvoidsIntraPenalty) {
+  GpuSpec spec = ideal_spec();
+  spec.alpha_intra = 0.5;
+  KernelDesc k;
+  k.work = 100.0;
+  k.parallelism = 100.0;
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k, k},
+                  {0, 1}, {10.0, 10.0});
+  // Separate contexts: no intra penalty -> 10 us (this asymmetry is why the
+  // paper finds MPS outperforms multi-stream STR).
+  EXPECT_NEAR(f[0], 10.0, 0.05);
+}
+
+TEST(GpuSharing, SmallQuotaPenaltySlowsIsolatedSlices) {
+  GpuSpec spec = ideal_spec();
+  spec.quota_penalty_a = 0.6;
+  spec.quota_penalty_q0 = 10.0;
+  KernelDesc k;
+  k.work = 100.0;
+  k.parallelism = 100.0;
+  // Quota 10: eff = 1 - 0.6 * exp(-1) ~= 0.779 -> 10 SMs * 0.779.
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k}, {0},
+                  {10.0});
+  EXPECT_NEAR(f[0], 100.0 / (10.0 * 0.7793), 0.2);
+}
+
+TEST(GpuSharing, FullDeviceQuotaNearlyUnpenalized) {
+  GpuSpec spec = ideal_spec();
+  spec.quota_penalty_a = 0.6;
+  spec.quota_penalty_q0 = 10.0;
+  KernelDesc k;
+  k.work = 680.0;
+  k.parallelism = 680.0;
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k}, {0},
+                  {68.0});
+  EXPECT_NEAR(f[0], 10.0, 0.05);  // penalty ~0.1% at Q=68
+}
+
+TEST(GpuSharing, BandwidthCapThrottlesMemoryBoundKernel) {
+  GpuSpec spec = ideal_spec();
+  spec.mem_bandwidth = 34.0;
+  KernelDesc k;
+  k.work = 340.0;
+  k.parallelism = 100.0;
+  k.mem_intensity = 1.0;  // demands 68 units at full width, cap is 34
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k}, {0},
+                  {68.0});
+  EXPECT_NEAR(f[0], 10.0, 0.05);  // rate limited to 34 SMs-equivalent
+}
+
+TEST(GpuSharing, ComputeBoundKernelIgnoresBandwidthCap) {
+  GpuSpec spec = ideal_spec();
+  spec.mem_bandwidth = 34.0;
+  KernelDesc k;
+  k.work = 340.0;
+  k.parallelism = 100.0;
+  k.mem_intensity = 0.1;  // demand 6.8 << 34
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k}, {0},
+                  {68.0});
+  EXPECT_NEAR(f[0], 5.0, 0.05);
+}
+
+TEST(GpuSharing, OversubContentionPenaltyApplies) {
+  GpuSpec spec = ideal_spec();
+  spec.kappa_oversub = 0.5;
+  KernelDesc k;
+  k.work = 340.0;
+  k.parallelism = 100.0;
+  // Two contexts with quota 68: demand 136/68 -> excess 1 -> eff = 1/1.5.
+  auto f = co_run([&](sim::Simulator& s) { return Gpu(s, spec); }, {k, k},
+                  {0, 1}, {68.0, 68.0});
+  EXPECT_NEAR(f[0], 15.0, 0.10);
+}
+
+TEST(GpuSharing, WorkConservedAcrossHeterogeneousMix) {
+  // Total completion of a work bag equals work / SMs regardless of split,
+  // in the ideal (fluid, penalty-free) configuration.
+  KernelDesc big;
+  big.work = 680.0;
+  big.parallelism = 1000.0;
+  KernelDesc small;
+  small.work = 170.0;
+  small.parallelism = 1000.0;
+  auto f = co_run([](sim::Simulator& s) { return Gpu(s, ideal_spec()); },
+                  {big, small, small}, {0, 0, 0}, {68.0});
+  const double last = std::max({f[0], f[1], f[2]});
+  EXPECT_NEAR(last, (680.0 + 170.0 + 170.0) / 68.0, 0.1);
+}
+
+/// Parameterised sweep: under pure fluid sharing with no penalties, n equal
+/// wide kernels across n contexts finish together at n * t_single.
+class GpuSharingFairness : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpuSharingFairness, EqualSharesForEqualDemands) {
+  const int n = GetParam();
+  KernelDesc k;
+  k.work = 680.0;
+  k.parallelism = 200.0;
+  std::vector<KernelDesc> kernels(static_cast<std::size_t>(n), k);
+  std::vector<int> ctxs(kernels.size());
+  std::vector<double> quotas(kernels.size(), 68.0);
+  for (int i = 0; i < n; ++i) ctxs[static_cast<std::size_t>(i)] = i;
+  auto f = co_run([](sim::Simulator& s) { return Gpu(s, ideal_spec()); },
+                  kernels, ctxs, quotas);
+  for (double fi : f) EXPECT_NEAR(fi, 10.0 * n, 0.1 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, GpuSharingFairness,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace daris::gpusim

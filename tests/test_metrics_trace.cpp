@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "metrics/trace_export.h"
+
+namespace daris::metrics {
+namespace {
+
+using common::from_ms;
+
+TEST(TraceExport, EmptyIsValidJsonArray) {
+  EXPECT_EQ(to_chrome_trace_json({}), "[\n]\n");
+}
+
+TEST(TraceExport, SpanFieldsSerialised) {
+  TraceSpan s;
+  s.name = "task1.stage0";
+  s.group = 2;
+  s.lane = 1;
+  s.begin = from_ms(1.0);
+  s.duration = from_ms(0.5);
+  s.priority = common::Priority::kLow;
+  s.missed = true;
+  const std::string json = to_chrome_trace_json({s});
+  EXPECT_NE(json.find("\"name\": \"task1.stage0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 500"), std::string::npos);
+  EXPECT_NE(json.find("\"priority\": \"LP\""), std::string::npos);
+  EXPECT_NE(json.find("\"missed\": true"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesQuotesInNames) {
+  TraceSpan s;
+  s.name = "we\"ird\\name";
+  const std::string json = to_chrome_trace_json({s});
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(TraceRecorder, BuildsJobSpans) {
+  JobEvent j;
+  j.task_id = 3;
+  j.priority = common::Priority::kHigh;
+  j.release = from_ms(10.0);
+  j.finish = from_ms(14.0);
+  j.context = 1;
+  j.missed = false;
+  TraceRecorder rec;
+  rec.add_job_events({j});
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.spans()[0].name, "job task3");
+  EXPECT_EQ(rec.spans()[0].group, 1);
+  EXPECT_EQ(rec.spans()[0].duration, from_ms(4.0));
+}
+
+TEST(TraceRecorder, BuildsStageSpansBackdatedByExecution) {
+  StageEvent s;
+  s.task_id = 2;
+  s.stage = 1;
+  s.when = from_ms(5.0);
+  s.execution_us = 1000.0;
+  TraceRecorder rec;
+  rec.add_stage_events({s});
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.spans()[0].name, "task2.stage1");
+  EXPECT_EQ(rec.spans()[0].begin, from_ms(4.0));
+  EXPECT_EQ(rec.spans()[0].duration, from_ms(1.0));
+}
+
+TEST(TraceRecorder, MultipleSpansCommaSeparated) {
+  TraceRecorder rec;
+  rec.add(TraceSpan{});
+  rec.add(TraceSpan{});
+  const std::string json = to_chrome_trace_json(rec.spans());
+  // Two objects, one comma between them.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"ph\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(CollectorJobTrace, GatedByFlag) {
+  Collector c;
+  JobEvent ev;
+  ev.priority = common::Priority::kHigh;
+  c.on_finish(ev);
+  EXPECT_TRUE(c.job_trace().empty());
+  c.enable_job_trace(true);
+  c.on_finish(ev);
+  EXPECT_EQ(c.job_trace().size(), 1u);
+}
+
+}  // namespace
+}  // namespace daris::metrics

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace daris::sim {
+namespace {
+
+using common::from_us;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  common::Time fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle h = sim.schedule_at(10, [&] { ran = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeWhenStale) {
+  Simulator sim;
+  int runs = 0;
+  const EventHandle h = sim.schedule_at(10, [&] { ++runs; });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  sim.cancel(h);   // already executed: must be a no-op
+  sim.cancel(h);   // double cancel: no-op
+  sim.cancel({});  // invalid handle: no-op
+  sim.schedule_at(sim.now() + 1, [&] { ++runs; });
+  sim.run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<common::Time> fired;
+  for (common::Time t : {10, 20, 30, 40}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  const std::size_t n = sim.run_until(25);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(sim.now(), 25);
+  EXPECT_EQ(fired, (std::vector<common::Time>{10, 20}));
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilExecutesEventsExactlyAtDeadline) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(25, [&] { ran = true; });
+  sim.run_until(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.schedule_after(from_us(1), chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 4 * from_us(1));
+}
+
+TEST(Simulator, PendingCountExcludesCancelled) {
+  Simulator sim;
+  const EventHandle a = sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int runs = 0;
+  sim.schedule_at(5, [&] { ++runs; });
+  sim.schedule_at(6, [&] { ++runs; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(runs, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  common::Time last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    const common::Time t = (i * 7919) % 100000;
+    sim.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace daris::sim

@@ -1,0 +1,27 @@
+// End-to-end smoke test: a small DARIS run completes and produces sane
+// metrics. Detailed behaviour is covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include "experiments/runner.h"
+
+namespace daris {
+namespace {
+
+TEST(Smoke, SmallDarisRunCompletes) {
+  exp::RunConfig cfg;
+  cfg.taskset = workload::scaled_taskset(dnn::ModelKind::kResNet18, 0.2, 0.34);
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 4;
+  cfg.sched.oversubscription = 4.0;
+  cfg.duration_s = 1.0;
+  cfg.warmup_s = 0.2;
+
+  const exp::RunResult r = exp::run_daris(cfg);
+  EXPECT_GT(r.total_jps, 0.0);
+  EXPECT_GT(r.hp.completed + r.lp.completed, 0u);
+  EXPECT_GE(r.gpu_utilization, 0.0);
+  EXPECT_LE(r.gpu_utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace daris
