@@ -3,7 +3,7 @@
 // timeline. The fifth "example", and the quickest way to explore the
 // configuration space without writing code.
 //
-//   daris_cli --model resnet18 --policy mps --contexts 6 --os 6 \
+//   daris_cli --model resnet18 --policy mps --contexts 6 --os 6
 //             --duration 4 --trace /tmp/timeline.json
 #include <cstdio>
 #include <cstdlib>

@@ -352,26 +352,27 @@ void Scheduler::on_stage_complete(int ctx, int stream_idx,
             // level/EDF order (so an HP job finishing its boosted last
             // stage, or a miss-boosted stage, can still take over — which
             // is what the No Last / No Prior ablations remove).
-            auto& rec = contexts_[static_cast<std::size_t>(ctx)];
-            Task& t = *jp->task;
-            const bool is_last = stage + 2 >= t.num_stages();
-            const int level = stage_level(config_, t.spec().priority, is_last,
-                                          missed_virtual);
+            auto& ctx_rec = contexts_[static_cast<std::size_t>(ctx)];
+            Task& task = *jp->task;
+            const bool is_last = stage + 2 >= task.num_stages();
+            const int level = stage_level(config_, task.spec().priority,
+                                          is_last, missed_virtual);
             const Time deadline = jp->stage_deadlines[stage + 1];
             const bool preempted =
-                !rec.ready.empty() &&
-                (rec.ready.peek().level < level ||
-                 (rec.ready.peek().level == level &&
-                  rec.ready.peek().deadline < deadline));
+                !ctx_rec.ready.empty() &&
+                (ctx_rec.ready.peek().level < level ||
+                 (ctx_rec.ready.peek().level == level &&
+                  ctx_rec.ready.peek().deadline < deadline));
             if (!preempted) {
               ReadyStage rs;
               rs.job = jp;
               rs.stage = stage + 1;
-              rec.stream_busy[static_cast<std::size_t>(stream_idx)] = false;
+              ctx_rec.stream_busy[static_cast<std::size_t>(stream_idx)] =
+                  false;
               dispatch(ctx, stream_idx, rs);
               return;
             }
-            rec.stream_busy[static_cast<std::size_t>(stream_idx)] = false;
+            ctx_rec.stream_busy[static_cast<std::size_t>(stream_idx)] = false;
           }
           enqueue_stage(jp, stage + 1, missed_virtual);
           try_dispatch(jp->context);

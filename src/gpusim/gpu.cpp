@@ -17,7 +17,9 @@ Gpu::Gpu(sim::Simulator& sim, GpuSpec spec, std::uint64_t seed)
 
 ContextId Gpu::create_context(double sm_quota) {
   assert(sm_quota > 0.0);
-  contexts_.push_back(ContextState{sm_quota, 0});
+  ContextState state;
+  state.quota = sm_quota;
+  contexts_.push_back(std::move(state));
   return static_cast<ContextId>(contexts_.size()) - 1;
 }
 

@@ -38,7 +38,9 @@ TEST(Table, ColumnAlignment) {
   while (pos < s.size()) {
     const std::size_t eol = s.find('\n', pos);
     const std::size_t len = eol - pos;
-    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
     prev = len;
     pos = eol + 1;
   }

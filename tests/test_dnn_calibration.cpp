@@ -52,8 +52,8 @@ INSTANTIATE_TEST_SUITE_P(Models, CalibrationFit,
                                            ModelKind::kResNet50,
                                            ModelKind::kUNet,
                                            ModelKind::kInceptionV3),
-                         [](const auto& info) {
-                           return std::string(model_name(info.param));
+                         [](const auto& param_info) {
+                           return std::string(model_name(param_info.param));
                          });
 
 TEST(Calibration, AnalyticKernelRateRespectsWidth) {
