@@ -10,6 +10,7 @@ EventHandle Simulator::schedule_at(Time when, Callback cb) {
   if (when < now_) when = now_;
   const std::uint64_t seq = next_seq_++;
   queue_.push(Event{when, seq, std::move(cb)});
+  live_.insert(seq);
   return EventHandle{seq};
 }
 
@@ -18,17 +19,18 @@ EventHandle Simulator::schedule_after(Duration delay, Callback cb) {
 }
 
 void Simulator::cancel(EventHandle handle) {
-  if (handle.valid()) cancelled_.insert(handle.id);
+  // Dropping the id from live_ is the whole cancellation: the queue entry
+  // stays until popped and is skipped then. Handles of events that already
+  // fired (or were already cancelled) are no longer live, so this is a
+  // natural no-op for them and pending()/empty() stay exact.
+  if (handle.valid()) live_.erase(handle.id);
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    if (live_.erase(ev.seq) == 0) continue;  // cancelled
     now_ = ev.when;
     ev.cb();
     return true;
@@ -40,8 +42,7 @@ std::size_t Simulator::run_until(Time deadline) {
   std::size_t executed = 0;
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (cancelled_.count(top.seq)) {
-      cancelled_.erase(top.seq);
+    if (live_.count(top.seq) == 0) {  // cancelled
       queue_.pop();
       continue;
     }
@@ -49,6 +50,7 @@ std::size_t Simulator::run_until(Time deadline) {
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.when;
+    live_.erase(ev.seq);
     ev.cb();
     ++executed;
   }

@@ -56,10 +56,10 @@ class Simulator {
   /// Executes the single next event, if any. Returns false when idle.
   bool step();
 
-  bool empty() const { return queue_.size() == cancelled_.size(); }
+  bool empty() const { return live_.empty(); }
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_.size(); }
 
  private:
   struct Event {
@@ -77,7 +77,12 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  // Ids scheduled but neither executed nor cancelled. Cancellation is lazy
+  // (cancelled entries stay in queue_ until popped, and are recognised by
+  // their absence here), so this set — not the queue size — is the source
+  // of truth for pending()/empty(), and it makes cancel() of an
+  // already-fired handle a natural no-op.
+  std::unordered_set<std::uint64_t> live_;
 };
 
 }  // namespace daris::sim

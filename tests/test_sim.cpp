@@ -69,6 +69,78 @@ TEST(Simulator, CancelIsIdempotentAndSafeWhenStale) {
   EXPECT_EQ(runs, 2);
 }
 
+TEST(Simulator, CancelOfAlreadyFiredHandleLeavesAccountingIntact) {
+  Simulator sim;
+  const EventHandle h = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.cancel(h);  // fired long ago: must not corrupt pending()/empty()
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+  bool ran = false;
+  sim.schedule_at(sim.now() + 1, [&] { ran = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, DoubleCancelCountsOnce) {
+  Simulator sim;
+  const EventHandle a = sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  sim.cancel(a);
+  sim.cancel(a);  // second cancel of the same pending event: no-op
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, CancelDuringCallbackSuppressesSameTimeSibling) {
+  Simulator sim;
+  bool sibling_ran = false;
+  EventHandle sibling;
+  // Both events are at t=10; the first to fire cancels the second before the
+  // queue pops it.
+  sim.schedule_at(10, [&] { sim.cancel(sibling); });
+  sibling = sim.schedule_at(10, [&] { sibling_ran = true; });
+  sim.run();
+  EXPECT_FALSE(sibling_ran);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ScheduleDuringCallbackAtCurrentTimeRunsThisPass) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    sim.schedule_at(sim.now(), [&] { order.push_back(2); });
+  });
+  sim.schedule_at(10, [&] { order.push_back(3); });
+  sim.run();
+  // The nested event is at the same time but a later seq, so it runs after
+  // the already-queued tie.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, CancelThenRescheduleKeepsCountsConsistent) {
+  Simulator sim;
+  int runs = 0;
+  EventHandle h = sim.schedule_at(10, [&] { ++runs; });
+  sim.cancel(h);
+  h = sim.schedule_at(10, [&] { ++runs; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  sim.cancel(h);  // handle from the reschedule, already fired: no-op
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   std::vector<common::Time> fired;
