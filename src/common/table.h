@@ -4,6 +4,7 @@
 // the output is uniform and easy to diff into EXPERIMENTS.md.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

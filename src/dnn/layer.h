@@ -6,6 +6,7 @@
 // of the paper's benchmark networks.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 // Compiled model: the network lowered to GPU kernel sequences per stage.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

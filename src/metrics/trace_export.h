@@ -6,7 +6,9 @@
 // how staging interleaves HP and LP stages.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "metrics/collector.h"
