@@ -31,9 +31,9 @@ int main() {
     worst_dmr[p] = std::max(worst_dmr[p], r.result.lp.dmr());
   }
   std::printf("policy summary (best JPS / worst LP DMR):\n");
-  const char* names[] = {"STR", "MPS", "MPS+STR"};
   for (int p : {0, 1, 2}) {
-    std::printf("  %-8s %6.0f JPS / %5.2f%%\n", names[p], best_jps[p],
+    std::printf("  %-8s %6.0f JPS / %5.2f%%\n",
+                exp::policy_name(static_cast<rt::Policy>(p)), best_jps[p],
                 100.0 * worst_dmr[p]);
   }
   std::printf(

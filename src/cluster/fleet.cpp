@@ -1,0 +1,69 @@
+#include "cluster/fleet.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace daris::cluster {
+
+Fleet::Fleet(sim::Simulator& sim, const FleetConfig& config,
+             metrics::Collector* collector)
+    : sim_(sim) {
+  const int n = std::max(1, config.num_gpus);
+  rt::SchedulerConfig sched_cfg = config.sched;
+  sched_cfg.canonicalize();
+  // Per-GPU jitter seeds derive from the fleet seed through the same
+  // generator, so a fleet run is a pure function of (config, seed).
+  common::Rng root(config.seed);
+  gpus_.reserve(static_cast<std::size_t>(n));
+  schedulers_.reserve(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g) {
+    gpus_.push_back(
+        std::make_unique<gpusim::Gpu>(sim_, config.gpu, root.next_u64()));
+    schedulers_.push_back(std::make_unique<rt::Scheduler>(
+        sim_, *gpus_.back(), sched_cfg, collector));
+    schedulers_.back()->set_device_id(g);
+  }
+}
+
+int Fleet::add_task(const rt::TaskSpec& spec, const dnn::CompiledModel* model,
+                    int home_gpu) {
+  assert(home_gpu >= 0 && home_gpu < size());
+  int id = -1;
+  for (int g = 0; g < size(); ++g) {
+    id = scheduler(g).add_task(spec, model);
+    scheduler(g).task(id).resident = (g == home_gpu);
+  }
+  home_.push_back(home_gpu);
+  assert(id + 1 == task_count());
+  return id;
+}
+
+void Fleet::set_afet(int task_id, const std::vector<double>& per_stage_us) {
+  for (int g = 0; g < size(); ++g) {
+    scheduler(g).set_afet(task_id, per_stage_us);
+  }
+}
+
+void Fleet::run_offline_phase() {
+  for (int g = 0; g < size(); ++g) {
+    scheduler(g).run_offline_phase();
+  }
+}
+
+int Fleet::active_jobs(int task_id) const {
+  int total = 0;
+  for (int g = 0; g < size(); ++g) {
+    total += scheduler(g).task(task_id).active_jobs;
+  }
+  return total;
+}
+
+std::uint64_t Fleet::intra_gpu_migrations() const {
+  std::uint64_t total = 0;
+  for (int g = 0; g < size(); ++g) total += scheduler(g).migrations();
+  return total;
+}
+
+}  // namespace daris::cluster

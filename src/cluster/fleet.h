@@ -1,0 +1,98 @@
+// Multi-GPU fleet: N simulated GPUs, each running its own DARIS scheduler,
+// on one shared discrete-event simulator.
+//
+// Every task is registered on every GPU (weights are shared, as MPS shares
+// them across contexts — the paper's zero-delay migration premise extended
+// across devices), so the router can place any job anywhere. The static HP
+// reservation of Eq. 11 (U^{h,t}_k) is charged only on the task's *home*
+// GPU (Task::resident); otherwise registering the fleet-wide task list on
+// each device would reserve N times the real HP demand and starve LP
+// admission everywhere.
+//
+// Per-GPU seeds, schedulers, and MRET estimators are independent: each
+// device accumulates its own execution-time history, exactly as real MPS
+// daemons would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "daris/scheduler.h"
+#include "gpusim/gpu.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+
+namespace daris::cluster {
+
+struct FleetConfig {
+  int num_gpus = 2;
+  gpusim::GpuSpec gpu = gpusim::GpuSpec::rtx2080ti();
+  rt::SchedulerConfig sched;
+  std::uint64_t seed = 42;
+};
+
+class Fleet {
+ public:
+  /// Creates `config.num_gpus` GPU + scheduler pairs on `sim`. All job and
+  /// stage events flow into `collector` (may be null), stamped with the
+  /// device index.
+  Fleet(sim::Simulator& sim, const FleetConfig& config,
+        metrics::Collector* collector);
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  sim::Simulator& simulator() { return sim_; }
+  int size() const { return static_cast<int>(gpus_.size()); }
+
+  gpusim::Gpu& gpu(int g) { return *gpus_[static_cast<std::size_t>(g)]; }
+  rt::Scheduler& scheduler(int g) {
+    return *schedulers_[static_cast<std::size_t>(g)];
+  }
+  const rt::Scheduler& scheduler(int g) const {
+    return *schedulers_[static_cast<std::size_t>(g)];
+  }
+
+  /// Registers the task on every GPU (same id on each scheduler) with
+  /// `home_gpu` carrying its static HP reservation. Returns the task id.
+  int add_task(const rt::TaskSpec& spec, const dnn::CompiledModel* model,
+               int home_gpu);
+
+  /// Seeds the task's MRET estimator on every GPU (Eq. 10).
+  void set_afet(int task_id, const std::vector<double>& per_stage_us);
+
+  /// Algorithm 1 initial context assignment, on every GPU.
+  void run_offline_phase();
+
+  int task_count() const { return static_cast<int>(home_.size()); }
+  int home_gpu(int task_id) const {
+    return home_[static_cast<std::size_t>(task_id)];
+  }
+
+  /// Admitted (active) utilisation of GPU g — the router's load signal.
+  double load(int g) const { return scheduler(g).active_utilization(); }
+
+  /// Fleet-wide admitted-but-unfinished jobs of one logical task. The
+  /// schedulers' per-device backlog guard only sees local Task instances;
+  /// the router applies the same guard against this sum so an overloaded
+  /// task cannot hold one job per device (jobs the paper's single-GPU
+  /// admission would shed must be shed here too, not queued into lateness).
+  int active_jobs(int task_id) const;
+
+  /// Jobs completed by GPU g (all priorities, includes warm-up).
+  std::uint64_t jobs_completed(int g) const {
+    return scheduler(g).jobs_completed();
+  }
+
+  /// Sum of intra-GPU (context-level) migrations across the fleet.
+  std::uint64_t intra_gpu_migrations() const;
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<gpusim::Gpu>> gpus_;
+  std::vector<std::unique_ptr<rt::Scheduler>> schedulers_;
+  std::vector<int> home_;
+};
+
+}  // namespace daris::cluster

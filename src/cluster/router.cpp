@@ -1,0 +1,120 @@
+#include "cluster/router.h"
+
+#include <limits>
+
+namespace daris::cluster {
+
+const char* routing_policy_name(RoutingPolicy p) {
+  switch (p) {
+    case RoutingPolicy::kRoundRobin:
+      return "round-robin";
+    case RoutingPolicy::kLeastUtilization:
+      return "least-util";
+    case RoutingPolicy::kPowerOfTwo:
+      return "power-of-two";
+    case RoutingPolicy::kModelAffinity:
+      return "model-affinity";
+  }
+  return "?";
+}
+
+Router::Router(Fleet& fleet, RoutingPolicy policy, std::uint64_t seed,
+               metrics::Collector* collector)
+    : fleet_(fleet), policy_(policy), rng_(seed), collector_(collector) {}
+
+int Router::pick(int task_id) {
+  const int n = fleet_.size();
+  switch (policy_) {
+    case RoutingPolicy::kRoundRobin: {
+      const int g = rr_next_;
+      rr_next_ = (rr_next_ + 1) % n;
+      return g;
+    }
+    case RoutingPolicy::kLeastUtilization:
+      return least_loaded_peer(/*exclude=*/-1);
+    case RoutingPolicy::kPowerOfTwo: {
+      const int a = static_cast<int>(rng_.uniform_int(0, n - 1));
+      const int b = static_cast<int>(rng_.uniform_int(0, n - 1));
+      return fleet_.load(b) < fleet_.load(a) ? b : a;
+    }
+    case RoutingPolicy::kModelAffinity:
+      return fleet_.home_gpu(task_id);
+  }
+  return 0;
+}
+
+int Router::least_loaded_peer(int exclude) const {
+  int best = -1;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (int g = 0; g < fleet_.size(); ++g) {
+    if (g == exclude) continue;
+    const double load = fleet_.load(g);
+    if (load < best_load) {
+      best_load = load;
+      best = g;
+    }
+  }
+  return best;
+}
+
+void Router::release(int task_id) {
+  const auto& spec = fleet_.scheduler(0).task(task_id).spec();
+  // HP jobs go to their home GPU — the device carrying their static Eq. 11
+  // reservation — mirroring the paper's fixed HP context assignment one
+  // level up (a dynamically routed HP job would land where no capacity is
+  // reserved for it and push admitted LP work into lateness). The routing
+  // policy places the migratable LP jobs.
+  const int home = spec.priority == common::Priority::kHigh
+                       ? fleet_.home_gpu(task_id)
+                       : pick(task_id);
+
+  metrics::JobEvent ev;
+  ev.task_id = task_id;
+  ev.priority = spec.priority;
+  ev.release = fleet_.simulator().now();
+  ev.relative_deadline = spec.relative_deadline;
+  ev.gpu = home;
+  if (collector_) {
+    collector_->on_release(ev);
+    collector_->on_route(home);
+  }
+
+  // Fleet-wide backlog guard, mirroring the per-device rule in
+  // Scheduler::release_job (LP: shed while a predecessor is active anywhere;
+  // HP: small bounded backlog).
+  const int backlog_cap =
+      spec.priority == common::Priority::kLow
+          ? 1
+          : fleet_.scheduler(home).config().max_backlog_per_task;
+  if (fleet_.active_jobs(task_id) >= backlog_cap) {
+    ++drops_;
+    if (collector_) {
+      collector_->on_reject(ev);
+      collector_->on_drop(home);
+    }
+    return;
+  }
+
+  if (fleet_.scheduler(home).release_job(task_id, /*report=*/false)) {
+    if (collector_) collector_->on_home_admit(home);
+    return;
+  }
+
+  // Cross-GPU migration: the job failed admission on every context of its
+  // routed GPU; offer it once to the least-loaded peer before dropping.
+  const int peer = least_loaded_peer(home);
+  if (peer >= 0 &&
+      fleet_.scheduler(peer).release_job(task_id, /*report=*/false)) {
+    ++migrations_;
+    if (collector_) collector_->on_cross_migration(home, peer);
+    return;
+  }
+
+  ++drops_;
+  if (collector_) {
+    collector_->on_reject(ev);
+    collector_->on_drop(home);
+  }
+}
+
+}  // namespace daris::cluster

@@ -1,0 +1,65 @@
+// Load-balancing front-end for a GPU fleet.
+//
+// Each released job is offered to one GPU: HP jobs to their home GPU (the
+// device carrying their static Eq. 11 reservation — the paper's fixed HP
+// context assignment, lifted one level), LP jobs to the GPU chosen by the
+// routing policy. If that GPU's DARIS scheduler rejects the job (Eq. 12
+// failed on every context, or a backlog guard fired), the router offers it
+// once to the least-loaded *peer* — cross-GPU migration — and only drops it
+// when the peer rejects it too. The router owns the fleet-level
+// release/reject accounting (the schedulers run in silent mode so a retried
+// job is not double-counted) and feeds per-GPU RoutingCounters in metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/fleet.h"
+#include "common/rng.h"
+#include "metrics/collector.h"
+
+namespace daris::cluster {
+
+/// Placement policies for LP jobs (HP jobs always start at their home GPU).
+enum class RoutingPolicy {
+  kRoundRobin,        // cycle through GPUs regardless of load
+  kLeastUtilization,  // GPU with the lowest admitted utilisation
+  kPowerOfTwo,        // sample two GPUs, pick the less loaded one
+  kModelAffinity,     // the task's home GPU (same model => same weights hot)
+};
+
+const char* routing_policy_name(RoutingPolicy p);
+
+class Router {
+ public:
+  Router(Fleet& fleet, RoutingPolicy policy, std::uint64_t seed,
+         metrics::Collector* collector);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  RoutingPolicy policy() const { return policy_; }
+
+  /// Routes one released job of `task_id` (the drivers' ReleaseFn target).
+  void release(int task_id);
+
+  /// Jobs admitted by a peer after their routed GPU rejected them.
+  std::uint64_t cross_gpu_migrations() const { return migrations_; }
+
+  /// Jobs rejected by both the routed GPU and the offered peer.
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  int pick(int task_id);
+  /// Least-loaded GPU other than `exclude` (-1 when the fleet has one GPU).
+  int least_loaded_peer(int exclude) const;
+
+  Fleet& fleet_;
+  RoutingPolicy policy_;
+  common::Rng rng_;
+  metrics::Collector* collector_;
+  int rr_next_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace daris::cluster

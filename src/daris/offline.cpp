@@ -69,20 +69,26 @@ AfetResult profile_afet(const gpusim::GpuSpec& spec,
             models[rng.uniform_int(0, static_cast<std::int64_t>(
                                           models.size() - 1))];
         auto run_stage = std::make_shared<std::function<void(std::size_t)>>();
+        // The stored lambda must not capture its own shared_ptr (cycle =>
+        // leak); it holds a weak self-reference and hands strong copies only
+        // to the in-flight events, so the closure dies with its last event.
+        std::weak_ptr<std::function<void(std::size_t)>> weak_run = run_stage;
         *run_stage = [&, stream_index, model,
-                      run_stage](std::size_t stage_index) {
+                      weak_run](std::size_t stage_index) {
+          auto self = weak_run.lock();
+          if (!self) return;
           const gpusim::StreamId s = streams[stream_index];
           const common::Time begin = sim.now();
           for (const auto& k : model->stages[stage_index].kernels) {
             gpu.launch_kernel(s, k);
           }
           gpu.enqueue_callback(s, [&, stream_index, model, stage_index, begin,
-                                   run_stage] {
+                                   self] {
             stats[model][stage_index].add(common::to_us(sim.now() - begin));
             if (stage_index + 1 < model->stage_count()) {
               sim.schedule_after(common::from_us(spec.sync_overhead_us),
-                                 [run_stage, stage_index] {
-                                   (*run_stage)(stage_index + 1);
+                                 [self, stage_index] {
+                                   (*self)(stage_index + 1);
                                  });
             } else {
               start_job(stream_index);

@@ -44,27 +44,42 @@ void Scheduler::set_afet(int task_id, const std::vector<double>& per_stage_us) {
 
 void Scheduler::run_offline_phase() {
   // Algorithm 1: HP tasks first, then LP tasks, each to the context with the
-  // least total utilisation so far.
+  // least total utilisation so far. Resident tasks are this device's real
+  // load and are placed first; non-resident tasks (cluster mode: peers'
+  // residents whose jobs only reach this device through routing or
+  // migration) are spread over the resulting balance afterwards, so phantom
+  // fleet-wide load cannot bunch the resident HP tasks onto few contexts.
   std::vector<double> ctx_util(contexts_.size(), 0.0);
-  auto assign_all = [&](Priority p) {
+  auto assign_all = [&](Priority p, bool resident) {
     for (auto& t : tasks_) {
-      if (t->spec().priority != p) continue;
+      if (t->spec().priority != p || t->resident != resident) continue;
       const auto it = std::min_element(ctx_util.begin(), ctx_util.end());
       const int ctx = static_cast<int>(it - ctx_util.begin());
       t->set_context(ctx);
       ctx_util[static_cast<std::size_t>(ctx)] += t->utilization();
     }
   };
-  assign_all(Priority::kHigh);
-  assign_all(Priority::kLow);
+  assign_all(Priority::kHigh, /*resident=*/true);
+  assign_all(Priority::kLow, /*resident=*/true);
+  assign_all(Priority::kHigh, /*resident=*/false);
+  assign_all(Priority::kLow, /*resident=*/false);
 }
 
 double Scheduler::hp_utilization(int ctx) const {
   double u = 0.0;
   for (const auto& t : tasks_) {
-    if (t->spec().priority == Priority::kHigh && t->context() == ctx) {
+    if (t->resident && t->spec().priority == Priority::kHigh &&
+        t->context() == ctx) {
       u += t->utilization();
     }
+  }
+  return u;
+}
+
+double Scheduler::active_utilization() const {
+  double u = 0.0;
+  for (const auto& rec : contexts_) {
+    u += rec.active_hp_util + rec.active_lp_util;
   }
   return u;
 }
@@ -85,7 +100,10 @@ bool Scheduler::passes_admission(const Task& task, int ctx,
   // U^{h,t}_k, so charge the active-LP side with zero and test headroom.
   const auto& rec = contexts_[static_cast<std::size_t>(ctx)];
   if (task.spec().priority == Priority::kLow) {
-    return rec.active_lp_util + util < remaining_utilization(ctx);
+    // Migrated-in HP work consumes capacity the resident-only U^{h,t}_k
+    // term cannot see; charge it alongside the active LP utilisation.
+    return rec.active_lp_util + rec.migrated_hp_util + util <
+           remaining_utilization(ctx);
   }
   // HPA: admit while the *currently active* admitted utilisation leaves
   // room, so excess HP jobs are shed instead of queueing into lateness.
@@ -99,7 +117,7 @@ double Scheduler::predicted_backlog_us(int ctx) const {
          static_cast<double>(config_.streams_per_context);
 }
 
-void Scheduler::release_job(int task_id) {
+bool Scheduler::release_job(int task_id, bool report) {
   Task& t = task(task_id);
   const Time now = sim_.now();
 
@@ -108,7 +126,8 @@ void Scheduler::release_job(int task_id) {
   ev.priority = t.spec().priority;
   ev.release = now;
   ev.relative_deadline = t.spec().relative_deadline;
-  if (collector_) collector_->on_release(ev);
+  ev.gpu = device_id_;
+  if (report && collector_) collector_->on_release(ev);
 
   // Late assignment for tasks added after the offline phase.
   if (t.context() < 0) t.set_context(0);
@@ -122,8 +141,8 @@ void Scheduler::release_job(int task_id) {
                               ? 1
                               : config_.max_backlog_per_task;
   if (t.active_jobs >= backlog_cap) {
-    if (collector_) collector_->on_reject(ev);
-    return;
+    if (report && collector_) collector_->on_reject(ev);
+    return false;
   }
 
   const double util = t.utilization();
@@ -148,15 +167,15 @@ void Scheduler::release_job(int task_id) {
         }
       }
       if (best < 0) {
-        if (collector_) collector_->on_reject(ev);
-        return;
+        if (report && collector_) collector_->on_reject(ev);
+        return false;
       }
       ++migrations_;
       t.set_context(best);  // ctx_i(t) moves with the task (zero-delay)
       target_ctx = best;
     } else {
-      if (collector_) collector_->on_reject(ev);
-      return;
+      if (report && collector_) collector_->on_reject(ev);
+      return false;
     }
   }
 
@@ -181,6 +200,7 @@ void Scheduler::release_job(int task_id) {
   jr->job.stage_deadlines.back() = jr->job.absolute_deadline;
 
   admit(t, target_ctx, std::move(jr));
+  return true;
 }
 
 void Scheduler::admit(Task& t, int ctx, std::unique_ptr<JobRuntime> jr) {
@@ -189,6 +209,7 @@ void Scheduler::admit(Task& t, int ctx, std::unique_ptr<JobRuntime> jr) {
     rec.active_lp_util += jr->job.admitted_utilization;
   } else {
     rec.active_hp_util += jr->job.admitted_utilization;
+    if (!t.resident) rec.migrated_hp_util += jr->job.admitted_utilization;
   }
   rec.outstanding_work_us += t.mret().total_mret_us();
   ++t.active_jobs;
@@ -314,6 +335,8 @@ void Scheduler::on_stage_complete(int ctx, int stream_idx,
     sev.when = now;
     sev.execution_us = et_us;
     sev.mret_us = mret_at_dispatch;
+    sev.context = ctx;
+    sev.gpu = device_id_;
     collector_->on_stage(sev);
   }
 
@@ -394,6 +417,10 @@ void Scheduler::finish_job(JobRuntime& jr) {
   } else {
     rec.active_hp_util =
         std::max(0.0, rec.active_hp_util - job.admitted_utilization);
+    if (!t.resident) {
+      rec.migrated_hp_util =
+          std::max(0.0, rec.migrated_hp_util - job.admitted_utilization);
+    }
   }
   --t.active_jobs;
   ++jobs_completed_;
@@ -407,6 +434,7 @@ void Scheduler::finish_job(JobRuntime& jr) {
     ev.relative_deadline = t.spec().relative_deadline;
     ev.missed = now > job.absolute_deadline;
     ev.context = job.context;
+    ev.gpu = device_id_;
     collector_->on_finish(ev);
   }
 }

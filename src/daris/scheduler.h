@@ -48,8 +48,11 @@ class Scheduler {
   /// Algorithm 1: initial context assignment balancing utilisation.
   void run_offline_phase();
 
-  /// Releases one job of the task (called by the periodic driver).
-  void release_job(int task_id);
+  /// Releases one job of the task (called by the release drivers). Returns
+  /// true when the job was admitted. With `report` false the release/reject
+  /// collector events are suppressed — the cluster router retries rejected
+  /// jobs on peer GPUs and owns the fleet-level accounting.
+  bool release_job(int task_id, bool report = true);
 
   Task& task(int id) { return *tasks_[static_cast<std::size_t>(id)]; }
   const Task& task(int id) const {
@@ -58,11 +61,16 @@ class Scheduler {
   int task_count() const { return static_cast<int>(tasks_.size()); }
   int num_contexts() const { return static_cast<int>(contexts_.size()); }
 
-  /// Total HP utilisation U^{h,t}_k(t) of a context (Eq. 4).
+  /// Total HP utilisation U^{h,t}_k(t) of a context (Eq. 4), counting only
+  /// resident tasks (see Task::resident).
   double hp_utilization(int ctx) const;
 
   /// Active LP utilisation U^{l,a}_k(t) (Sec. III-B3).
   double active_lp_utilization(int ctx) const;
+
+  /// Sum of the admitted (active) HP+LP utilisation across all contexts —
+  /// the load signal the cluster router balances on.
+  double active_utilization() const;
 
   /// Remaining utilisation U^r_k(t) = Ns - U^{h,t}_k(t) (Eq. 11).
   double remaining_utilization(int ctx) const;
@@ -76,6 +84,10 @@ class Scheduler {
   /// Migration counter (LP jobs admitted to a context other than ctx_i).
   std::uint64_t migrations() const { return migrations_; }
 
+  /// Device index stamped into job/stage events (cluster runs; default -1).
+  void set_device_id(int id) { device_id_ = id; }
+  int device_id() const { return device_id_; }
+
  private:
   struct ContextRec {
     gpusim::ContextId gpu_ctx = -1;
@@ -84,6 +96,11 @@ class Scheduler {
     StageQueue ready;
     double active_lp_util = 0.0;
     double active_hp_util = 0.0;  // used by the Overload+HPA admission test
+    /// Active utilisation of non-resident HP jobs (cluster mode: HP work
+    /// migrated in from peers). Invisible to the static Eq. 4 reservation,
+    /// so the LP admission test must charge it explicitly; always 0 in
+    /// single-GPU runs.
+    double migrated_hp_util = 0.0;
     double outstanding_work_us = 0.0;  // predicted-finish proxy
   };
 
@@ -119,6 +136,7 @@ class Scheduler {
   std::uint64_t next_job_id_ = 1;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t migrations_ = 0;
+  int device_id_ = -1;
 };
 
 }  // namespace daris::rt

@@ -79,6 +79,12 @@ class Task {
   /// Number of this task's jobs currently admitted but unfinished.
   int active_jobs = 0;
 
+  /// Whether this scheduler is the task's home device. In a cluster the task
+  /// is registered on every GPU (so migrated jobs can run anywhere) but its
+  /// static HP reservation (Eq. 4 term of Eq. 11) is charged only on the home
+  /// GPU; single-GPU runs leave this true everywhere.
+  bool resident = true;
+
  private:
   int id_;
   TaskSpec spec_;

@@ -1,0 +1,128 @@
+#include "experiments/cluster_runner.h"
+
+#include <map>
+#include <memory>
+
+#include "daris/offline.h"
+#include "dnn/zoo.h"
+#include "sim/simulator.h"
+
+namespace daris::exp {
+
+const char* arrival_mode_name(ArrivalMode m) {
+  switch (m) {
+    case ArrivalMode::kPeriodic:
+      return "periodic";
+    case ArrivalMode::kPoisson:
+      return "poisson";
+    case ArrivalMode::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+ClusterResult run_cluster(const ClusterConfig& config) {
+  sim::Simulator sim;
+
+  metrics::Collector collector;
+  collector.set_measure_start(common::from_sec(config.warmup_s));
+  collector.enable_stage_trace(config.stage_trace);
+
+  rt::SchedulerConfig sched_cfg = config.sched;
+  sched_cfg.canonicalize();
+
+  cluster::FleetConfig fleet_cfg;
+  fleet_cfg.num_gpus = config.num_gpus;
+  fleet_cfg.gpu = config.gpu;
+  fleet_cfg.sched = sched_cfg;
+  fleet_cfg.seed = config.seed;
+  cluster::Fleet fleet(sim, fleet_cfg, &collector);
+  // Sized from the fleet, not the config: Fleet clamps num_gpus to >= 1.
+  collector.set_gpu_count(fleet.size());
+
+  // One compiled model per distinct kind, shared by every GPU (the
+  // zero-delay migration premise: weights are resident fleet-wide).
+  std::map<dnn::ModelKind, std::unique_ptr<dnn::CompiledModel>> models;
+  for (const auto& t : config.taskset.tasks) {
+    if (!models.count(t.model)) {
+      models.emplace(t.model,
+                     std::make_unique<dnn::CompiledModel>(dnn::compiled_model(
+                         t.model, sched_cfg.batch, config.gpu)));
+    }
+  }
+
+  // Offline phase 1: AFET profiling. Every GPU runs the same partitioning
+  // on the same spec, so one profile seeds all devices.
+  std::vector<const dnn::CompiledModel*> distinct;
+  distinct.reserve(models.size());
+  for (const auto& [kind, m] : models) distinct.push_back(m.get());
+  const rt::AfetResult afet = rt::profile_afet(
+      config.gpu, sched_cfg, distinct, /*jobs_per_stream=*/16, config.seed);
+
+  // Home-GPU assignment carries the static HP reservation (Fleet::add_task)
+  // and is the model-affinity routing target: affinity keeps each model kind
+  // on one device, every other policy stripes tasks across the fleet.
+  std::map<dnn::ModelKind, int> kind_home;
+  int next_home = 0;
+  for (std::size_t i = 0; i < config.taskset.tasks.size(); ++i) {
+    const auto& t = config.taskset.tasks[i];
+    int home;
+    if (config.routing == cluster::RoutingPolicy::kModelAffinity) {
+      auto [it, fresh] = kind_home.try_emplace(t.model, next_home);
+      if (fresh) next_home = (next_home + 1) % fleet.size();
+      home = it->second;
+    } else {
+      home = static_cast<int>(i) % fleet.size();
+    }
+    const int id = fleet.add_task(t, models.at(t.model).get(), home);
+    fleet.set_afet(id, afet.for_model(models.at(t.model).get()));
+  }
+
+  // Offline phase 2: Algorithm 1 initial context assignment, per GPU.
+  fleet.run_offline_phase();
+
+  cluster::Router router(fleet, config.routing, config.seed ^ 0x90C7E6ull,
+                         &collector);
+  workload::ReleaseFn to_router = [&router](int id) { router.release(id); };
+
+  const common::Time horizon = common::from_sec(config.duration_s);
+  std::unique_ptr<workload::PeriodicDriver> periodic;
+  std::unique_ptr<workload::OpenLoopDriver> open_loop;
+  if (config.arrivals == ArrivalMode::kPeriodic) {
+    periodic = std::make_unique<workload::PeriodicDriver>(
+        sim, config.taskset, to_router, horizon);
+    periodic->start();
+  } else {
+    workload::OpenLoopConfig ol;
+    ol.process = config.arrivals == ArrivalMode::kPoisson
+                     ? workload::ArrivalProcess::kPoisson
+                     : workload::ArrivalProcess::kBursty;
+    ol.rate_scale = config.rate_scale;
+    ol.seed = config.seed ^ 0x09E61ull;
+    open_loop = std::make_unique<workload::OpenLoopDriver>(
+        sim, config.taskset, to_router, horizon, ol);
+    open_loop->start();
+  }
+  sim.run_until(horizon);
+
+  ClusterResult result;
+  result.total_jps = collector.throughput_jps(horizon);
+  result.hp = collector.summary(common::Priority::kHigh);
+  result.lp = collector.summary(common::Priority::kLow);
+  result.cross_gpu_migrations = router.cross_gpu_migrations();
+  result.drops = router.drops();
+  result.intra_gpu_migrations = fleet.intra_gpu_migrations();
+  result.arrivals = open_loop ? open_loop->arrivals() : 0;
+  result.per_gpu.resize(static_cast<std::size_t>(fleet.size()));
+  for (int g = 0; g < fleet.size(); ++g) {
+    auto& s = result.per_gpu[static_cast<std::size_t>(g)];
+    s.utilization = fleet.gpu(g).utilization(horizon);
+    s.completed = fleet.jobs_completed(g);
+    s.intra_migrations = fleet.scheduler(g).migrations();
+    s.routing = collector.routing(g);
+  }
+  result.stage_trace = collector.stage_trace();
+  return result;
+}
+
+}  // namespace daris::exp

@@ -1,0 +1,63 @@
+// Cluster experiment runner: wires a GPU fleet, shared compiled models,
+// offline AFET profiling, per-GPU DARIS schedulers, the routing front-end,
+// and a release driver (periodic or open-loop) into one reproducible run.
+// Mirrors RunConfig/run_daris one level up the stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/router.h"
+#include "experiments/runner.h"
+#include "workload/driver.h"
+
+namespace daris::exp {
+
+/// Release pattern driving the fleet.
+enum class ArrivalMode {
+  kPeriodic,  // strictly periodic (phase + k*T), the paper's workload
+  kPoisson,   // open-loop Poisson arrivals at each task's nominal rate
+  kBursty,    // open-loop two-state bursty (MMPP-style) arrivals
+};
+
+const char* arrival_mode_name(ArrivalMode m);
+
+struct ClusterConfig {
+  workload::TaskSetSpec taskset;
+  rt::SchedulerConfig sched;
+  gpusim::GpuSpec gpu = gpusim::GpuSpec::rtx2080ti();
+  int num_gpus = 4;
+  cluster::RoutingPolicy routing = cluster::RoutingPolicy::kLeastUtilization;
+  ArrivalMode arrivals = ArrivalMode::kPeriodic;
+  /// Rate multiplier for the open-loop modes (>1 drives overload).
+  double rate_scale = 1.0;
+  double duration_s = 6.0;
+  double warmup_s = 1.0;
+  std::uint64_t seed = 42;
+  bool stage_trace = false;
+};
+
+/// Per-device slice of a cluster run.
+struct GpuSummary {
+  double utilization = 0.0;  // average SM utilisation over the run
+  std::uint64_t completed = 0;          // jobs finished on this GPU
+  std::uint64_t intra_migrations = 0;   // context-level (Eq. 12) migrations
+  metrics::RoutingCounters routing;     // router outcomes for this GPU
+};
+
+struct ClusterResult {
+  double total_jps = 0.0;
+  metrics::ClassSummary hp;
+  metrics::ClassSummary lp;
+  std::vector<GpuSummary> per_gpu;
+  std::uint64_t cross_gpu_migrations = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t intra_gpu_migrations = 0;
+  std::uint64_t arrivals = 0;  // open-loop modes; 0 for periodic
+  std::vector<metrics::StageEvent> stage_trace;
+};
+
+/// Runs the fleet on the configured task set and returns the fleet summary.
+ClusterResult run_cluster(const ClusterConfig& config);
+
+}  // namespace daris::exp

@@ -9,6 +9,10 @@
 
 namespace daris::exp {
 
+/// The canonical policy-name table lives next to the enum (daris/config.h);
+/// re-exported here so figure benches stop hardcoding parallel name arrays.
+using rt::policy_name;
+
 struct GridPoint {
   rt::SchedulerConfig sched;
   std::string label;  // "STR 1x4", "MPS 6x1 6", ...

@@ -26,6 +26,33 @@ void Collector::on_stage(const StageEvent& ev) {
   if (trace_stages_) stage_trace_.push_back(ev);
 }
 
+void Collector::set_gpu_count(int n) {
+  routing_.assign(static_cast<std::size_t>(n < 0 ? 0 : n), RoutingCounters{});
+}
+
+void Collector::on_route(int gpu) {
+  ++routing_[static_cast<std::size_t>(gpu)].routed;
+}
+
+void Collector::on_home_admit(int gpu) {
+  ++routing_[static_cast<std::size_t>(gpu)].home_admits;
+}
+
+void Collector::on_cross_migration(int from_gpu, int to_gpu) {
+  ++routing_[static_cast<std::size_t>(from_gpu)].migrated_out;
+  ++routing_[static_cast<std::size_t>(to_gpu)].migrated_in;
+}
+
+void Collector::on_drop(int gpu) {
+  ++routing_[static_cast<std::size_t>(gpu)].dropped;
+}
+
+RoutingCounters Collector::fleet_routing() const {
+  RoutingCounters total;
+  for (const auto& r : routing_) total += r;
+  return total;
+}
+
 std::uint64_t Collector::total_completed() const {
   return classes_[0].completed + classes_[1].completed;
 }

@@ -24,6 +24,7 @@ struct JobEvent {
   bool accepted = true;
   bool missed = false;
   int context = -1;
+  int gpu = -1;  // device index in a cluster run (-1: single GPU)
 };
 
 struct StageEvent {
@@ -32,6 +33,8 @@ struct StageEvent {
   Time when = 0;
   double execution_us = 0.0;  // measured et_{i,j}
   double mret_us = 0.0;       // prediction in force when the stage started
+  int context = -1;           // context the stage executed on
+  int gpu = -1;               // device index in a cluster run (-1: single GPU)
 };
 
 /// Summary over one priority class.
@@ -58,6 +61,25 @@ struct ClassSummary {
   }
 };
 
+/// Cluster-level routing outcomes for one GPU (also summed fleet-wide).
+/// Filled by `cluster::Router`; zero in single-GPU runs.
+struct RoutingCounters {
+  std::uint64_t routed = 0;        // arrivals first offered to this GPU
+  std::uint64_t home_admits = 0;   // admitted by the GPU they were routed to
+  std::uint64_t migrated_in = 0;   // admitted here after a peer rejected them
+  std::uint64_t migrated_out = 0;  // rejected here, admitted on a peer
+  std::uint64_t dropped = 0;       // rejected here and by the offered peer
+
+  RoutingCounters& operator+=(const RoutingCounters& o) {
+    routed += o.routed;
+    home_admits += o.home_admits;
+    migrated_in += o.migrated_in;
+    migrated_out += o.migrated_out;
+    dropped += o.dropped;
+    return *this;
+  }
+};
+
 class Collector {
  public:
   /// When true, stage events are stored (memory-heavy; off by default).
@@ -75,6 +97,20 @@ class Collector {
   void on_finish(const JobEvent& ev);
   void on_stage(const StageEvent& ev);
 
+  /// Sizes the per-GPU routing counters (cluster runs only).
+  void set_gpu_count(int n);
+  void on_route(int gpu);
+  void on_home_admit(int gpu);
+  void on_cross_migration(int from_gpu, int to_gpu);
+  void on_drop(int gpu);
+
+  int gpu_count() const { return static_cast<int>(routing_.size()); }
+  const RoutingCounters& routing(int gpu) const {
+    return routing_[static_cast<std::size_t>(gpu)];
+  }
+  /// Sum of the per-GPU routing counters.
+  RoutingCounters fleet_routing() const;
+
   const ClassSummary& summary(Priority p) const {
     return classes_[static_cast<std::size_t>(p)];
   }
@@ -88,6 +124,7 @@ class Collector {
 
  private:
   ClassSummary classes_[2];
+  std::vector<RoutingCounters> routing_;
   std::vector<StageEvent> stage_trace_;
   std::vector<JobEvent> job_trace_;
   bool trace_stages_ = false;

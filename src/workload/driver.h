@@ -1,29 +1,118 @@
-// Periodic job-release driver: turns a task set into release events.
+// Job-release drivers: turn a task set into release events.
+//
+// Drivers deliver releases through a ReleaseFn sink so the same generator
+// can drive a single rt::Scheduler or a cluster::Router front-end.
+//
+//  - PeriodicDriver: strictly periodic releases (phase + k*T), the paper's
+//    closed-form workload (Table II).
+//  - OpenLoopDriver: open-loop stochastic arrivals — Poisson, or a two-state
+//    bursty process (MMPP-style: calm/burst states with exponential dwell
+//    times, the burst state releasing at a multiple of the calm rate while
+//    the long-run mean rate stays at the task's nominal 1/T). Seeded from
+//    common::Rng so runs are bit-reproducible.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
 #include "common/time.h"
 #include "daris/scheduler.h"
 #include "sim/simulator.h"
+#include "workload/taskset.h"
 
 namespace daris::workload {
 
-/// Schedules strictly periodic releases (phase + k*T) for every task in the
-/// scheduler, up to `horizon`.
+/// Sink for job releases; called with the task index at each arrival.
+using ReleaseFn = std::function<void(int task_id)>;
+
+/// Schedules strictly periodic releases (phase + k*T) for every task, up to
+/// `horizon`.
 class PeriodicDriver {
  public:
+  /// Drives the scheduler's registered tasks directly (single-GPU runs).
   PeriodicDriver(sim::Simulator& sim, rt::Scheduler& scheduler,
-                 common::Time horizon)
-      : sim_(sim), scheduler_(scheduler), horizon_(horizon) {}
+                 common::Time horizon);
 
-  /// Arms the first release of every registered task.
+  /// Drives an arbitrary sink (e.g. a cluster router) from a task-set spec.
+  PeriodicDriver(sim::Simulator& sim, const TaskSetSpec& taskset,
+                 ReleaseFn release, common::Time horizon);
+
+  /// Arms the first release of every task.
   void start();
 
  private:
+  struct Entry {
+    common::Duration period = 0;
+    common::Duration phase = 0;
+  };
+
   void arm(int task_id, common::Time when);
 
   sim::Simulator& sim_;
-  rt::Scheduler& scheduler_;
+  std::vector<Entry> entries_;
+  ReleaseFn release_;
   common::Time horizon_;
+};
+
+/// Inter-arrival process for the open-loop driver.
+enum class ArrivalProcess {
+  kPoisson,  // exponential inter-arrivals at the task's nominal rate
+  kBursty,   // two-state MMPP-style modulated Poisson
+};
+
+struct OpenLoopConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+
+  /// Multiplies every task's nominal rate 1/T (1.0 = the task set's demand;
+  /// >1 drives overload).
+  double rate_scale = 1.0;
+
+  // Bursty process parameters. Dwell times in each state are exponential;
+  // the burst state releases at `burst_factor` x the calm rate, and the calm
+  // rate is chosen so the long-run mean rate stays at rate_scale/T.
+  double burst_factor = 4.0;
+  double mean_calm_s = 0.4;
+  double mean_burst_s = 0.1;
+
+  std::uint64_t seed = 42;
+};
+
+/// Open-loop arrivals: each task releases jobs independently of completions
+/// (no back-pressure), which is what exercises admission and overload
+/// hardest (Fig. 11). Deterministic given the config seed.
+class OpenLoopDriver {
+ public:
+  OpenLoopDriver(sim::Simulator& sim, const TaskSetSpec& taskset,
+                 ReleaseFn release, common::Time horizon,
+                 OpenLoopConfig config = {});
+
+  /// Arms the first arrival of every task.
+  void start();
+
+  /// Arrivals delivered so far (all tasks).
+  std::uint64_t arrivals() const { return arrivals_; }
+
+ private:
+  struct Stream {
+    double calm_rate_jps = 0.0;   // per-state release rates
+    double burst_rate_jps = 0.0;  // == calm rate for Poisson
+    bool burst = false;
+    common::Time state_until = 0;  // next dwell-state change
+    common::Rng rng{0};
+  };
+
+  void arm(int task_id);
+  /// Advances the task's MMPP state to `now` and returns the current rate.
+  double current_rate(Stream& s, common::Time now);
+
+  sim::Simulator& sim_;
+  ReleaseFn release_;
+  common::Time horizon_;
+  OpenLoopConfig config_;
+  std::vector<Stream> streams_;
+  std::uint64_t arrivals_ = 0;
 };
 
 }  // namespace daris::workload

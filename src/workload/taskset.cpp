@@ -101,6 +101,21 @@ TaskSetSpec mixed_taskset(std::uint64_t seed) {
   return set;
 }
 
+TaskSetSpec replicated_taskset(const TaskSetSpec& base, int copies,
+                               std::uint64_t seed) {
+  common::Rng rng(seed);
+  TaskSetSpec set;
+  set.name = base.name + "-x" + std::to_string(std::max(copies, 1));
+  for (int c = 0; c < std::max(copies, 1); ++c) {
+    for (rt::TaskSpec t : base.tasks) {
+      t.phase = static_cast<common::Duration>(
+          rng.uniform(0.0, static_cast<double>(t.period)));
+      set.tasks.push_back(t);
+    }
+  }
+  return set;
+}
+
 TaskSetSpec resnet50_taskset(std::uint64_t seed) {
   return table2_taskset(dnn::ModelKind::kResNet50, seed);
 }

@@ -33,6 +33,12 @@ TaskSetSpec scaled_taskset(dnn::ModelKind kind, double load_factor,
 /// Mixed task set (Fig. 7): one third of each Table II set.
 TaskSetSpec mixed_taskset(std::uint64_t seed = 7);
 
+/// `copies` back-to-back copies of `base` with freshly drawn phases —
+/// cluster benches scale aggregate demand with fleet size this way, keeping
+/// per-task rates (and so per-task utilisation) identical to the base set.
+TaskSetSpec replicated_taskset(const TaskSetSpec& base, int copies,
+                               std::uint64_t seed = 7);
+
 /// ResNet50 task set for the Sec. VI-B comparison (sized like Table II:
 /// 150% of the 433-JPS upper baseline, 2:1 LP:HP).
 TaskSetSpec resnet50_taskset(std::uint64_t seed = 7);

@@ -1,0 +1,244 @@
+// Cluster layer: routing policy selection, cross-GPU migration on admission
+// failure, fleet-wide backlog shedding, and fleet determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "cluster/router.h"
+#include "experiments/cluster_runner.h"
+
+namespace daris::cluster {
+namespace {
+
+using common::Priority;
+
+/// Small deterministic fixture: a jitter-free fleet with single-context
+/// single-stream GPUs, one ResNet18 model shared by every task.
+struct Harness {
+  explicit Harness(int num_gpus, int num_contexts = 1) {
+    FleetConfig cfg;
+    cfg.num_gpus = num_gpus;
+    cfg.gpu.jitter_cv = 0.0;
+    cfg.sched.policy = rt::Policy::kMps;
+    cfg.sched.num_contexts = num_contexts;
+    model = std::make_unique<dnn::CompiledModel>(
+        dnn::compiled_model(dnn::ModelKind::kResNet18, 1, cfg.gpu));
+    collector.set_gpu_count(num_gpus);
+    fleet = std::make_unique<Fleet>(sim, cfg, &collector);
+  }
+
+  /// Adds a task whose AFET (and so utilisation ~ total_afet/period) is
+  /// chosen directly; period 10ms.
+  int add_task(Priority priority, double total_afet_us, int home_gpu) {
+    rt::TaskSpec spec;
+    spec.model = dnn::ModelKind::kResNet18;
+    spec.period = common::from_ms(10.0);
+    spec.relative_deadline = spec.period;
+    spec.priority = priority;
+    const int id = fleet->add_task(spec, model.get(), home_gpu);
+    fleet->set_afet(
+        id, std::vector<double>(
+                model->stage_count(),
+                total_afet_us / static_cast<double>(model->stage_count())));
+    return id;
+  }
+
+  sim::Simulator sim;
+  metrics::Collector collector;
+  std::unique_ptr<dnn::CompiledModel> model;
+  std::unique_ptr<Fleet> fleet;
+};
+
+TEST(Router, RoundRobinCyclesGpusForLpJobs) {
+  Harness h(2);
+  // Four light LP tasks, one release each: round-robin must alternate GPUs.
+  for (int i = 0; i < 4; ++i) h.add_task(Priority::kLow, 500.0, i % 2);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kRoundRobin, 1, &h.collector);
+  for (int i = 0; i < 4; ++i) router.release(i);
+  EXPECT_EQ(h.collector.routing(0).routed, 2u);
+  EXPECT_EQ(h.collector.routing(1).routed, 2u);
+  EXPECT_EQ(h.collector.routing(0).home_admits, 2u);
+  EXPECT_EQ(h.collector.routing(1).home_admits, 2u);
+  EXPECT_EQ(router.drops(), 0u);
+}
+
+TEST(Router, ModelAffinityRoutesToHomeGpu) {
+  Harness h(2);
+  const int a = h.add_task(Priority::kLow, 500.0, /*home_gpu=*/1);
+  const int b = h.add_task(Priority::kLow, 500.0, /*home_gpu=*/0);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kModelAffinity, 1, &h.collector);
+  router.release(a);
+  router.release(b);
+  EXPECT_EQ(h.collector.routing(1).routed, 1u);
+  EXPECT_EQ(h.collector.routing(0).routed, 1u);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 1u);
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 1u);
+}
+
+TEST(Router, HpJobsAlwaysStartAtTheirHomeGpu) {
+  Harness h(2);
+  const int hp = h.add_task(Priority::kHigh, 500.0, /*home_gpu=*/1);
+  h.fleet->run_offline_phase();
+  // Round-robin would start at GPU 0; HP placement must ignore the policy.
+  Router router(*h.fleet, RoutingPolicy::kRoundRobin, 1, &h.collector);
+  router.release(hp);
+  EXPECT_EQ(h.collector.routing(1).routed, 1u);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 1u);
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 0u);
+}
+
+TEST(Router, LeastUtilizationPrefersIdleGpu) {
+  Harness h(2);
+  const int a = h.add_task(Priority::kLow, 3000.0, 0);
+  const int b = h.add_task(Priority::kLow, 3000.0, 1);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kLeastUtilization, 1, &h.collector);
+  router.release(a);  // ties break to GPU 0
+  EXPECT_GT(h.fleet->load(0), 0.0);
+  router.release(b);  // GPU 0 now carries load, so GPU 1 must win
+  EXPECT_EQ(h.collector.routing(0).routed, 1u);
+  EXPECT_EQ(h.collector.routing(1).routed, 1u);
+}
+
+TEST(Router, CrossGpuMigrationOnAdmissionFailure) {
+  Harness h(2);
+  // Two heavy LP tasks (utilisation ~0.9 each) homed on GPU 0: the second
+  // release fails Eq. 12 on every context of GPU 0 and must be offered to
+  // the idle peer instead of being dropped.
+  const int a = h.add_task(Priority::kLow, 9000.0, 0);
+  const int b = h.add_task(Priority::kLow, 9000.0, 0);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kModelAffinity, 1, &h.collector);
+  router.release(a);
+  router.release(b);
+  EXPECT_EQ(router.cross_gpu_migrations(), 1u);
+  EXPECT_EQ(router.drops(), 0u);
+  EXPECT_EQ(h.collector.routing(0).migrated_out, 1u);
+  EXPECT_EQ(h.collector.routing(1).migrated_in, 1u);
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 1u);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 1u);
+}
+
+TEST(Router, DropsWhenNoPeerCanAdmit) {
+  Harness h(1);  // no peer to migrate to
+  const int a = h.add_task(Priority::kLow, 9000.0, 0);
+  const int b = h.add_task(Priority::kLow, 9000.0, 0);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kModelAffinity, 1, &h.collector);
+  router.release(a);
+  router.release(b);
+  EXPECT_EQ(router.cross_gpu_migrations(), 0u);
+  EXPECT_EQ(router.drops(), 1u);
+  EXPECT_EQ(h.collector.routing(0).dropped, 1u);
+  EXPECT_EQ(h.collector.summary(Priority::kLow).rejected, 1u);
+}
+
+TEST(Router, FleetWideBacklogGuardShedsLpEverywhere) {
+  Harness h(2);
+  // One light LP task released twice back-to-back: the second release must
+  // be shed because a job is already active *somewhere* in the fleet, even
+  // though the peer GPU is idle (the paper's single-GPU shedding rule).
+  const int a = h.add_task(Priority::kLow, 500.0, 0);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kLeastUtilization, 1, &h.collector);
+  router.release(a);
+  router.release(a);
+  EXPECT_EQ(router.drops(), 1u);
+  EXPECT_EQ(router.cross_gpu_migrations(), 0u);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 0u);
+}
+
+TEST(Fleet, ResidencyOnlyOnHomeGpu) {
+  Harness h(2);
+  const int a = h.add_task(Priority::kHigh, 3000.0, 1);
+  EXPECT_FALSE(h.fleet->scheduler(0).task(a).resident);
+  EXPECT_TRUE(h.fleet->scheduler(1).task(a).resident);
+  // The HP reservation (Eq. 4) is charged only where the task is resident.
+  h.fleet->run_offline_phase();
+  double hp0 = 0.0, hp1 = 0.0;
+  for (int c = 0; c < h.fleet->scheduler(0).num_contexts(); ++c) {
+    hp0 += h.fleet->scheduler(0).hp_utilization(c);
+    hp1 += h.fleet->scheduler(1).hp_utilization(c);
+  }
+  EXPECT_DOUBLE_EQ(hp0, 0.0);
+  EXPECT_GT(hp1, 0.0);
+}
+
+TEST(Cluster, RunClusterIsDeterministic) {
+  exp::ClusterConfig cfg;
+  cfg.taskset = workload::replicated_taskset(
+      workload::table2_taskset(dnn::ModelKind::kUNet), 2);
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 4;
+  cfg.sched.oversubscription = 4.0;
+  cfg.num_gpus = 2;
+  cfg.duration_s = 1.5;
+  cfg.warmup_s = 0.5;
+  const exp::ClusterResult a = exp::run_cluster(cfg);
+  const exp::ClusterResult b = exp::run_cluster(cfg);
+  EXPECT_EQ(a.total_jps, b.total_jps);
+  EXPECT_EQ(a.hp.completed, b.hp.completed);
+  EXPECT_EQ(a.lp.completed, b.lp.completed);
+  EXPECT_EQ(a.hp.missed, b.hp.missed);
+  EXPECT_EQ(a.lp.missed, b.lp.missed);
+  EXPECT_EQ(a.cross_gpu_migrations, b.cross_gpu_migrations);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.intra_gpu_migrations, b.intra_gpu_migrations);
+  ASSERT_EQ(a.per_gpu.size(), b.per_gpu.size());
+  for (std::size_t g = 0; g < a.per_gpu.size(); ++g) {
+    EXPECT_EQ(a.per_gpu[g].completed, b.per_gpu[g].completed);
+    EXPECT_EQ(a.per_gpu[g].utilization, b.per_gpu[g].utilization);
+  }
+}
+
+TEST(Cluster, TwoGpusScaleThroughputOnReplicatedDemand) {
+  exp::ClusterConfig cfg;
+  cfg.taskset = workload::table2_taskset(dnn::ModelKind::kUNet);
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 4;
+  cfg.sched.oversubscription = 4.0;
+  cfg.num_gpus = 1;
+  cfg.duration_s = 1.5;
+  cfg.warmup_s = 0.5;
+  const exp::ClusterResult one = exp::run_cluster(cfg);
+
+  cfg.taskset = workload::replicated_taskset(cfg.taskset, 2);
+  cfg.num_gpus = 2;
+  const exp::ClusterResult two = exp::run_cluster(cfg);
+  EXPECT_GT(two.total_jps, 1.6 * one.total_jps);
+  EXPECT_EQ(two.hp.missed, 0u);
+}
+
+TEST(Cluster, OpenLoopArrivalsAreRecorded) {
+  exp::ClusterConfig cfg;
+  cfg.taskset = workload::table2_taskset(dnn::ModelKind::kUNet);
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 4;
+  cfg.sched.oversubscription = 4.0;
+  cfg.num_gpus = 2;
+  cfg.arrivals = exp::ArrivalMode::kPoisson;
+  cfg.duration_s = 1.0;
+  cfg.warmup_s = 0.2;
+  const exp::ClusterResult r = exp::run_cluster(cfg);
+  EXPECT_GT(r.arrivals, 0u);
+  // ~360 JPS aggregate demand over 1s, Poisson: a loose sanity band.
+  EXPECT_NEAR(static_cast<double>(r.arrivals), 360.0, 120.0);
+}
+
+TEST(Cluster, RoutingPolicyNames) {
+  EXPECT_STREQ(routing_policy_name(RoutingPolicy::kRoundRobin),
+               "round-robin");
+  EXPECT_STREQ(routing_policy_name(RoutingPolicy::kLeastUtilization),
+               "least-util");
+  EXPECT_STREQ(routing_policy_name(RoutingPolicy::kPowerOfTwo),
+               "power-of-two");
+  EXPECT_STREQ(routing_policy_name(RoutingPolicy::kModelAffinity),
+               "model-affinity");
+}
+
+}  // namespace
+}  // namespace daris::cluster

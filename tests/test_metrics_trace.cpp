@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "metrics/trace_export.h"
+#include "metrics/trace_report.h"
 
 namespace daris::metrics {
 namespace {
@@ -80,6 +81,89 @@ TEST(TraceRecorder, MultipleSpansCommaSeparated) {
     ++pos;
   }
   EXPECT_EQ(count, 2u);
+}
+
+StageEvent stage_ev(int task, std::size_t stage, double exec_us,
+                    double mret_us, int context, int gpu) {
+  StageEvent s;
+  s.task_id = task;
+  s.stage = stage;
+  s.execution_us = exec_us;
+  s.mret_us = mret_us;
+  s.context = context;
+  s.gpu = gpu;
+  return s;
+}
+
+TEST(TraceReport, EmptyStream) {
+  const TraceReport r = trace_report({});
+  EXPECT_EQ(r.stages, 0u);
+  EXPECT_EQ(r.tasks, 0u);
+  EXPECT_EQ(r.gpu_migrations, 0u);
+  EXPECT_EQ(r.worst_stall_task, -1);
+  EXPECT_FALSE(r.to_string().empty());
+}
+
+TEST(TraceReport, CountsMigrationsFromConsecutiveStages) {
+  // Task 0 moves context (same GPU) then moves GPU; task 1 never moves.
+  const std::vector<StageEvent> stream = {
+      stage_ev(0, 0, 100, 100, /*context=*/0, /*gpu=*/0),
+      stage_ev(1, 0, 100, 100, 2, 0),
+      stage_ev(0, 1, 100, 100, 1, 0),  // context switch
+      stage_ev(0, 2, 100, 100, 1, 1),  // GPU migration
+      stage_ev(1, 1, 100, 100, 2, 0),
+  };
+  const TraceReport r = trace_report(stream);
+  EXPECT_EQ(r.stages, 5u);
+  EXPECT_EQ(r.tasks, 2u);
+  EXPECT_EQ(r.context_switches, 1u);
+  EXPECT_EQ(r.gpu_migrations, 1u);
+}
+
+TEST(TraceReport, StarvationAndWorstStall) {
+  const std::vector<StageEvent> stream = {
+      stage_ev(0, 0, 150, 100, 0, 0),   // stalled 50us but not starved
+      stage_ev(3, 1, 900, 300, 0, 0),   // starved (3x) and worst stall
+      stage_ev(3, 2, 400, 250, 0, 0),   // below the 2x default factor
+  };
+  const TraceReport r = trace_report(stream);
+  EXPECT_EQ(r.starved_stages, 1u);
+  EXPECT_DOUBLE_EQ(r.worst_stall_us, 600.0);
+  EXPECT_EQ(r.worst_stall_task, 3);
+  EXPECT_EQ(r.worst_stall_stage, 1u);
+  ASSERT_EQ(r.worst_stall_per_task_us.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.worst_stall_per_task_us[0], 50.0);
+  EXPECT_DOUBLE_EQ(r.worst_stall_per_task_us[3], 600.0);
+  EXPECT_NE(r.to_string().find("worst stall"), std::string::npos);
+}
+
+TEST(TraceReport, StarvationFactorConfigurable) {
+  const std::vector<StageEvent> stream = {
+      stage_ev(0, 0, 150, 100, 0, 0),
+  };
+  EXPECT_EQ(trace_report(stream, 1.4).starved_stages, 1u);
+  EXPECT_EQ(trace_report(stream, 2.0).starved_stages, 0u);
+}
+
+TEST(CollectorRouting, PerGpuAndFleetCounters) {
+  Collector c;
+  c.set_gpu_count(2);
+  c.on_route(0);
+  c.on_route(0);
+  c.on_route(1);
+  c.on_home_admit(0);
+  c.on_cross_migration(/*from=*/0, /*to=*/1);
+  c.on_drop(1);
+  EXPECT_EQ(c.routing(0).routed, 2u);
+  EXPECT_EQ(c.routing(0).home_admits, 1u);
+  EXPECT_EQ(c.routing(0).migrated_out, 1u);
+  EXPECT_EQ(c.routing(1).migrated_in, 1u);
+  EXPECT_EQ(c.routing(1).dropped, 1u);
+  const RoutingCounters fleet = c.fleet_routing();
+  EXPECT_EQ(fleet.routed, 3u);
+  EXPECT_EQ(fleet.migrated_in, 1u);
+  EXPECT_EQ(fleet.migrated_out, 1u);
+  EXPECT_EQ(fleet.dropped, 1u);
 }
 
 TEST(CollectorJobTrace, GatedByFlag) {

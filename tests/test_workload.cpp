@@ -101,6 +101,121 @@ TEST(TaskSet, MixedContainsAllThreeModels) {
               2.0, 0.35);
 }
 
+TEST(TaskSet, ReplicatedScalesDemandAndRedrawsPhases) {
+  const TaskSetSpec base = table2_taskset(dnn::ModelKind::kUNet);
+  const TaskSetSpec x3 = replicated_taskset(base, 3);
+  EXPECT_EQ(x3.tasks.size(), 3 * base.tasks.size());
+  EXPECT_NEAR(x3.demand_jps(), 3.0 * base.demand_jps(), 1.0);
+  EXPECT_EQ(x3.count(Priority::kHigh), 3 * base.count(Priority::kHigh));
+  // Phases are re-drawn per copy, not repeated.
+  std::set<common::Duration> phases;
+  for (const auto& t : x3.tasks) phases.insert(t.phase);
+  EXPECT_GT(phases.size(), x3.tasks.size() / 2);
+}
+
+/// One-task spec for driving the open-loop generator without a scheduler.
+TaskSetSpec single_task_spec(double jps) {
+  TaskSetSpec set;
+  rt::TaskSpec t;
+  t.model = dnn::ModelKind::kResNet18;
+  t.period = common::period_for_jps(jps);
+  t.relative_deadline = t.period;
+  t.priority = Priority::kLow;
+  set.tasks.push_back(t);
+  return set;
+}
+
+TEST(OpenLoopDriver, PoissonArrivalCountMatchesRate) {
+  sim::Simulator sim;
+  const TaskSetSpec set = single_task_spec(100.0);
+  OpenLoopConfig cfg;
+  cfg.process = ArrivalProcess::kPoisson;
+  std::uint64_t released = 0;
+  OpenLoopDriver driver(sim, set, [&](int) { ++released; },
+                        common::from_sec(10.0), cfg);
+  driver.start();
+  sim.run();
+  // 100 JPS over 10 s => ~1000 arrivals; +-4 sigma of a Poisson(1000).
+  EXPECT_NEAR(static_cast<double>(driver.arrivals()), 1000.0, 130.0);
+  EXPECT_EQ(driver.arrivals(), released);
+}
+
+TEST(OpenLoopDriver, RateScaleDrivesOverload) {
+  sim::Simulator sim;
+  const TaskSetSpec set = single_task_spec(100.0);
+  OpenLoopConfig cfg;
+  cfg.rate_scale = 2.0;
+  OpenLoopDriver driver(sim, set, [](int) {}, common::from_sec(10.0), cfg);
+  driver.start();
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(driver.arrivals()), 2000.0, 200.0);
+}
+
+TEST(OpenLoopDriver, BurstyPreservesLongRunMeanRate) {
+  sim::Simulator sim;
+  const TaskSetSpec set = single_task_spec(100.0);
+  OpenLoopConfig cfg;
+  cfg.process = ArrivalProcess::kBursty;
+  cfg.burst_factor = 4.0;
+  OpenLoopDriver driver(sim, set, [](int) {}, common::from_sec(20.0), cfg);
+  driver.start();
+  sim.run();
+  // Mean rate is constructed to stay at the nominal 100 JPS; the dwell
+  // randomness is slow, so allow a wider band than the Poisson test.
+  EXPECT_NEAR(static_cast<double>(driver.arrivals()), 2000.0, 500.0);
+}
+
+TEST(OpenLoopDriver, DeterministicFromSeed) {
+  auto arrival_times = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    const TaskSetSpec set = single_task_spec(200.0);
+    OpenLoopConfig cfg;
+    cfg.process = ArrivalProcess::kBursty;
+    cfg.seed = seed;
+    std::vector<common::Time> times;
+    OpenLoopDriver driver(sim, set, [&](int) { times.push_back(sim.now()); },
+                          common::from_sec(2.0), cfg);
+    driver.start();
+    sim.run();
+    return times;
+  };
+  const auto a = arrival_times(11);
+  const auto b = arrival_times(11);
+  const auto c = arrival_times(12);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(OpenLoopDriver, DrivesSchedulerReleases) {
+  sim::Simulator sim;
+  gpusim::GpuSpec spec;
+  spec.jitter_cv = 0.0;
+  gpusim::Gpu gpu(sim, spec);
+  const auto model = dnn::compiled_model(dnn::ModelKind::kResNet18, 1, spec);
+  rt::SchedulerConfig cfg;
+  cfg.policy = rt::Policy::kMps;
+  cfg.num_contexts = 1;
+  metrics::Collector collector;
+  rt::Scheduler sched(sim, gpu, cfg, &collector);
+  rt::TaskSpec t;
+  t.model = dnn::ModelKind::kResNet18;
+  t.period = common::from_ms(10.0);
+  t.relative_deadline = t.period;
+  t.priority = Priority::kHigh;
+  const int id = sched.add_task(t, &model);
+  sched.set_afet(id, std::vector<double>(model.stage_count(), 400.0));
+  sched.run_offline_phase();
+
+  TaskSetSpec set;
+  set.tasks.push_back(t);
+  OpenLoopDriver driver(sim, set,
+                        [&sched](int task) { sched.release_job(task); },
+                        common::from_sec(1.0));
+  driver.start();
+  sim.run();
+  EXPECT_GT(collector.summary(Priority::kHigh).released, 50u);
+}
+
 TEST(Driver, ReleasesAtPhaseThenEveryPeriod) {
   sim::Simulator sim;
   gpusim::GpuSpec spec;
