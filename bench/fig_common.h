@@ -5,11 +5,37 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "baselines/batching_server.h"
 #include "experiments/grid.h"
 
 namespace daris::bench {
+
+/// argv wiring for the google-benchmark drivers: unless the caller already
+/// passed --benchmark_out, append `--benchmark_out=<json_path>` (JSON format)
+/// so every run records machine-readable results — the perf trajectory the
+/// repo tracks in BENCH_*.json files. `storage` owns the argument strings and
+/// must outlive the returned vector; pass the result to
+/// benchmark::Initialize. Kept free of benchmark.h so the figure drivers can
+/// include this header without linking google-benchmark.
+inline std::vector<char*> benchmark_args_with_json_out(
+    int argc, char** argv, const char* json_path,
+    std::vector<std::string>& storage) {
+  storage.assign(argv, argv + argc);
+  bool has_out = false;
+  for (const auto& arg : storage) {
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    storage.push_back(std::string("--benchmark_out=") + json_path);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (auto& arg : storage) args.push_back(arg.data());
+  return args;
+}
 
 struct FigureExpectation {
   const char* peak_config;       // e.g. "MPS 6x1 6"

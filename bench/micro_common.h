@@ -1,0 +1,27 @@
+// Shared main() body for the google-benchmark micro drivers: run the
+// registered benchmarks with results mirrored to a JSON file (the perf
+// trajectory the repo tracks in BENCH_*.json). Separate from fig_common.h so
+// the figure drivers keep building without google-benchmark installed.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "fig_common.h"
+
+namespace daris::bench {
+
+inline int run_benchmarks_with_json_out(int argc, char** argv,
+                                        const char* json_path) {
+  std::vector<std::string> storage;
+  auto args = benchmark_args_with_json_out(argc, argv, json_path, storage);
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace daris::bench

@@ -1,11 +1,17 @@
 // Microbenchmarks of the GPU simulator itself (google-benchmark): event
-// throughput of the fluid executor under different concurrency shapes.
+// throughput of the fluid executor under different concurrency shapes, raw
+// event-engine shapes (churn / cancel-heavy / reschedule-heavy), and a
+// fleet-scale open-loop run. Results are also written to
+// BENCH_micro_gpusim.json (see main below) to track the perf trajectory.
 #include <benchmark/benchmark.h>
 
 #include "dnn/zoo.h"
+#include "experiments/cluster_runner.h"
 #include "gpusim/gpu.h"
+#include "micro_common.h"
 #include "gpusim/partition.h"
 #include "sim/simulator.h"
+#include "workload/taskset.h"
 
 using namespace daris;
 
@@ -74,6 +80,56 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 
+/// The fluid executor's signature pattern: a standing population of events
+/// whose deadlines keep moving. Each round reschedules every pending event to
+/// a new time (in place on the new engine; cancel+push on the old one).
+void BM_EventQueueReschedule(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  constexpr int kRounds = 8;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(static_cast<std::size_t>(events));
+    for (int i = 0; i < events; ++i) {
+      handles.push_back(sim.schedule_at((i * 131) % 100000 + 1, [] {}));
+    }
+    for (int round = 1; round <= kRounds; ++round) {
+      for (std::size_t i = 0; i < handles.size(); ++i) {
+        const common::Time when =
+            (static_cast<common::Time>(i) * 131 + round * 7919) % 100000 + 1;
+        sim.reschedule(handles[i], when);
+      }
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * events * kRounds);
+}
+
+/// Fleet-scale event volume: an N-GPU cluster under open-loop Poisson
+/// arrivals, the shape that multiplies completion-event churn by the fleet
+/// size. Measures simulated jobs completed per wall second.
+void BM_ClusterFleetOpenLoop(benchmark::State& state) {
+  const int num_gpus = static_cast<int>(state.range(0));
+  exp::ClusterConfig cfg;
+  cfg.taskset =
+      workload::replicated_taskset(workload::mixed_taskset(), num_gpus);
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 6;
+  cfg.sched.oversubscription = 6.0;
+  cfg.num_gpus = num_gpus;
+  cfg.routing = cluster::RoutingPolicy::kLeastUtilization;
+  cfg.arrivals = exp::ArrivalMode::kPoisson;
+  cfg.duration_s = 1.0;
+  cfg.warmup_s = 0.25;
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    const exp::ClusterResult r = exp::run_cluster(cfg);
+    jobs = r.hp.completed + r.lp.completed;
+  }
+  state.counters["sim_jobs"] = static_cast<double>(jobs);
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(jobs));
+}
+
 }  // namespace
 
 BENCHMARK(BM_GpuFluidExecutor)
@@ -84,5 +140,10 @@ BENCHMARK(BM_GpuFluidExecutor)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EventQueueReschedule)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_ClusterFleetOpenLoop)->Arg(8)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return daris::bench::run_benchmarks_with_json_out(argc, argv,
+                                                    "BENCH_micro_gpusim.json");
+}

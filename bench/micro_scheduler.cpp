@@ -5,6 +5,7 @@
 #include "daris/mret.h"
 #include "daris/stage_queue.h"
 #include "experiments/runner.h"
+#include "micro_common.h"
 
 using namespace daris;
 
@@ -69,4 +70,7 @@ BENCHMARK(BM_MretRecordAndQuery);
 BENCHMARK(BM_VirtualDeadlines);
 BENCHMARK(BM_EndToEndScheduling)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return daris::bench::run_benchmarks_with_json_out(
+      argc, argv, "BENCH_micro_scheduler.json");
+}

@@ -9,6 +9,7 @@
 #include "dnn/calibration.h"
 #include "gpusim/gpu.h"
 #include "sim/simulator.h"
+#include "workload/driver.h"
 
 namespace daris::baselines {
 
@@ -88,20 +89,19 @@ ClockworkResult run_clockwork(const workload::TaskSetSpec& taskset,
     });
   };
 
-  // Periodic releases.
-  std::function<void(int, common::Time)> arm = [&](int i, common::Time when) {
-    if (when > horizon) return;
-    sim.schedule_at(when, [&, i, when] {
-      ++released;
-      const auto& t = taskset.tasks[static_cast<std::size_t>(i)];
-      queue.push(PendingJob{i, when, when + t.relative_deadline, t.priority});
-      pump();
-      arm(i, when + t.period);
-    });
-  };
-  for (int i = 0; i < static_cast<int>(taskset.tasks.size()); ++i) {
-    arm(i, taskset.tasks[static_cast<std::size_t>(i)].phase);
-  }
+  // Periodic releases, re-armed in place each period by the shared driver.
+  workload::PeriodicDriver driver(
+      sim, taskset,
+      [&](int i) {
+        ++released;
+        const auto& t = taskset.tasks[static_cast<std::size_t>(i)];
+        const common::Time when = sim.now();
+        queue.push(
+            PendingJob{i, when, when + t.relative_deadline, t.priority});
+        pump();
+      },
+      horizon);
+  driver.start();
   sim.run_until(horizon);
 
   ClockworkResult r;

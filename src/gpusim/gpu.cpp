@@ -204,7 +204,8 @@ void Gpu::recompute_rates() {
   // 1. Water-fill each context's quota among its resident kernels.
   //    Process kernels grouped by context; within a context, ascending
   //    parallelism gets its full demand first (max-min fairness).
-  std::vector<std::size_t> order(active_.size());
+  std::vector<std::size_t>& order = wf_order_;
+  order.resize(active_.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     if (active_[a].ctx != active_[b].ctx) return active_[a].ctx < active_[b].ctx;
@@ -213,7 +214,8 @@ void Gpu::recompute_rates() {
     return a < b;
   });
 
-  std::vector<double> share(active_.size(), 0.0);
+  std::vector<double>& share = wf_share_;
+  share.assign(active_.size(), 0.0);
   std::size_t i = 0;
   double total_alloc = 0.0;
   while (i < order.size()) {
@@ -252,7 +254,8 @@ void Gpu::recompute_rates() {
 
   // 3/4. Per-kernel rate with wave quantisation, the small-slice penalty,
   // and the intra-context multi-stream penalty.
-  std::vector<double> raw(active_.size(), 0.0);
+  std::vector<double>& raw = wf_raw_;
+  raw.assign(active_.size(), 0.0);
   double bw_demand = 0.0;
   for (std::size_t k = 0; k < active_.size(); ++k) {
     const auto& ak = active_[k];
@@ -279,19 +282,23 @@ void Gpu::recompute_rates() {
     const bool changed = std::abs(new_rate - ak.rate) > kRateTolerance ||
                          !ak.completion.valid();
     if (!changed) continue;
-    sim_.cancel(ak.completion);
     ak.rate = new_rate;
     ak.last_update = now;
     if (ak.rate <= 0.0) {
+      sim_.cancel(ak.completion);
       ak.completion = sim::EventHandle{};
       continue;
     }
-    const double finish_us = ak.remaining / ak.rate;
-    const StreamId s = ak.stream;
-    const std::uint64_t gen = ak.gen;
-    ak.completion = sim_.schedule_after(
-        common::from_us(finish_us) + 1,  // +1 tick: settle past the epsilon
-        [this, s, gen] { on_kernel_complete(s, gen); });
+    // +1 tick: settle past the epsilon. Rate changes move the pending
+    // completion in place; only a kernel's first allocation schedules anew.
+    const common::Duration finish =
+        common::from_us(ak.remaining / ak.rate) + 1;
+    if (!sim_.reschedule_after(ak.completion, finish)) {
+      const StreamId s = ak.stream;
+      const std::uint64_t gen = ak.gen;
+      ak.completion = sim_.schedule_after(
+          finish, [this, s, gen] { on_kernel_complete(s, gen); });
+    }
   }
 }
 

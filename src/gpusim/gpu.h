@@ -141,6 +141,12 @@ class Gpu {
   std::vector<ContextState> contexts_;
   std::vector<StreamState> streams_;
   std::vector<ActiveKernel> active_;
+  // Scratch buffers for recompute_rates(), reused across calls so the rate
+  // solver — invoked on every launch, completion, and quota change — does
+  // not allocate in steady state (matching the event engine's guarantee).
+  std::vector<std::size_t> wf_order_;
+  std::vector<double> wf_share_;
+  std::vector<double> wf_raw_;
   double busy_integral_ = 0.0;  // SM-ns
   Time busy_last_update_ = 0;
   std::uint64_t kernels_completed_ = 0;

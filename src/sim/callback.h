@@ -1,0 +1,118 @@
+// Move-only type-erased `void()` functor with small-buffer storage.
+//
+// `std::function` heap-allocates once a lambda outgrows the implementation's
+// tiny inline buffer (typically two pointers), and every simulator event used
+// to pay that price. Event callbacks across the codebase capture a `this`
+// pointer plus a handful of scalar ids, so a 48-byte inline buffer covers the
+// hot paths (GPU completions, launch wake-ups, scheduler sync events, driver
+// release timers) with zero per-event allocation. Larger or over-aligned
+// captures transparently fall back to a single heap cell.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace daris::sim {
+
+class Callback {
+ public:
+  /// Captures up to this many bytes are stored inline (no allocation).
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  Callback() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback> &&
+                                 std::is_invocable_r_v<void, std::decay_t<F>&>,
+                             int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  Callback(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs into `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineCapacity &&
+      alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static const Ops kInlineOps;
+  template <typename Fn>
+  static const Ops kHeapOps;
+
+  void move_from(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+template <typename Fn>
+const Callback::Ops Callback::kInlineOps = {
+    [](void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+    [](void* dst, void* src) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    },
+    [](void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); },
+};
+
+template <typename Fn>
+const Callback::Ops Callback::kHeapOps = {
+    [](void* storage) {
+      (**std::launder(reinterpret_cast<Fn**>(storage)))();
+    },
+    [](void* dst, void* src) {
+      ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+    },
+    [](void* storage) { delete *std::launder(reinterpret_cast<Fn**>(storage)); },
+};
+
+}  // namespace daris::sim

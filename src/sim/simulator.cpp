@@ -1,17 +1,97 @@
 #include "sim/simulator.h"
 
-#include <cassert>
+#include <algorithm>
 #include <utility>
 
 namespace daris::sim {
 
+std::uint32_t Simulator::decode(EventHandle handle) const {
+  if (!handle.valid()) return kNpos;
+  const std::uint32_t slot = static_cast<std::uint32_t>(handle.id >> 32) - 1;
+  if (slot >= pool_size_) return kNpos;
+  if (node(slot).gen != static_cast<std::uint32_t>(handle.id)) return kNpos;
+  return slot;
+}
+
+std::uint32_t Simulator::acquire_node() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    Node& n = node(slot);
+    free_head_ = n.next_free;
+    n.next_free = kNpos;
+    return slot;
+  }
+  if (pool_size_ == slabs_.size() * kSlabSize) {
+    slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+  }
+  pos_.push_back(kNpos);
+  return pool_size_++;
+}
+
+void Simulator::release_node(std::uint32_t slot) {
+  Node& n = node(slot);
+  ++n.gen;  // stale out every handle to this incarnation
+  n.cb.reset();
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
+std::size_t Simulator::sift_up(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos_[heap_[pos].slot] = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  pos_[entry.slot] = static_cast<std::uint32_t>(pos);
+  return pos;
+}
+
+void Simulator::sift_down(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = 4 * pos + 1;
+    if (first_child >= size) break;
+    const std::size_t last_child = std::min(first_child + 4, size);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    pos_[heap_[pos].slot] = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = entry;
+  pos_[entry.slot] = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::heap_push(HeapEntry entry) {
+  pos_[entry.slot] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(entry);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::heap_remove(std::size_t pos) {
+  pos_[heap_[pos].slot] = kNpos;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;
+  heap_[pos] = last;
+  pos_[last.slot] = static_cast<std::uint32_t>(pos);
+  if (sift_up(pos) == pos) sift_down(pos);
+}
+
 EventHandle Simulator::schedule_at(Time when, Callback cb) {
-  assert(when >= now_ && "cannot schedule into the past");
-  if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{when, seq, std::move(cb)});
-  live_.insert(seq);
-  return EventHandle{seq};
+  if (when < now_) when = now_;  // clamp: past events fire on the current tick
+  const std::uint32_t slot = acquire_node();
+  node(slot).cb = std::move(cb);
+  heap_push(HeapEntry{when, next_seq_++, slot});
+  return handle_for(slot);
 }
 
 EventHandle Simulator::schedule_after(Duration delay, Callback cb) {
@@ -19,39 +99,63 @@ EventHandle Simulator::schedule_after(Duration delay, Callback cb) {
 }
 
 void Simulator::cancel(EventHandle handle) {
-  // Dropping the id from live_ is the whole cancellation: the queue entry
-  // stays until popped and is skipped then. Handles of events that already
-  // fired (or were already cancelled) are no longer live, so this is a
-  // natural no-op for them and pending()/empty() stay exact.
-  if (handle.valid()) live_.erase(handle.id);
+  const std::uint32_t slot = decode(handle);
+  if (slot == kNpos) return;
+  const std::uint32_t pos = pos_[slot];
+  if (pos == kNpos) return;  // the currently-firing event: already off the heap
+  heap_remove(pos);
+  if (node(slot).firing_depth == 0) release_node(slot);
+  // A firing node is recycled by fire_top() once its callback chain unwinds;
+  // here the cancel only undoes a reschedule() made during that callback.
+}
+
+bool Simulator::reschedule(EventHandle handle, Time when) {
+  const std::uint32_t slot = decode(handle);
+  if (slot == kNpos) return false;
+  const std::uint32_t pos = pos_[slot];
+  if (pos == kNpos && node(slot).firing_depth == 0) return false;
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;  // same slot a cancel+schedule gets
+  if (pos != kNpos) {
+    heap_[pos].when = when;
+    heap_[pos].seq = seq;
+    if (sift_up(pos) == pos) sift_down(pos);
+  } else {
+    heap_push(HeapEntry{when, seq, slot});  // re-arm from the event's callback
+  }
+  return true;
+}
+
+bool Simulator::reschedule_after(EventHandle handle, Duration delay) {
+  return reschedule(handle, now_ + (delay < 0 ? 0 : delay));
+}
+
+void Simulator::fire_top() {
+  const std::uint32_t slot = heap_[0].slot;
+  now_ = heap_[0].when;
+  heap_remove(0);
+  // Slab addresses are stable, so the callback runs in place: the node is
+  // neither on the heap nor on the free list while it fires, so nothing can
+  // overwrite it. The firing depth (not a flag: callbacks may pump a nested
+  // step() that reentrantly fires the same re-armed event) defers recycling
+  // until the outermost frame unwinds with the event not re-armed.
+  Node& n = node(slot);
+  ++n.firing_depth;
+  n.cb();
+  --n.firing_depth;
+  if (n.firing_depth == 0 && pos_[slot] == kNpos) release_node(slot);
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (live_.erase(ev.seq) == 0) continue;  // cancelled
-    now_ = ev.when;
-    ev.cb();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  fire_top();
+  return true;
 }
 
 std::size_t Simulator::run_until(Time deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (live_.count(top.seq) == 0) {  // cancelled
-      queue_.pop();
-      continue;
-    }
-    if (top.when > deadline) break;
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    live_.erase(ev.seq);
-    ev.cb();
+  while (!heap_.empty() && heap_[0].when <= deadline) {
+    fire_top();
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;
@@ -60,8 +164,19 @@ std::size_t Simulator::run_until(Time deadline) {
 
 std::size_t Simulator::run() {
   std::size_t executed = 0;
-  while (step()) ++executed;
+  while (!heap_.empty()) {
+    fire_top();
+    ++executed;
+  }
   return executed;
+}
+
+void Simulator::reserve(std::size_t events) {
+  while (slabs_.size() * kSlabSize < events) {
+    slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+  }
+  pos_.reserve(events);
+  heap_.reserve(events);
 }
 
 }  // namespace daris::sim

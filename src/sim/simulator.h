@@ -1,26 +1,49 @@
 // Discrete-event simulation engine.
 //
 // The GPU model reschedules kernel-completion events every time the fluid
-// rate allocation changes, so events must be cancellable. We implement
-// cancellation lazily: each scheduled event carries a sequence id, and a
-// cancelled id is skipped when popped. Ties in time are broken by insertion
-// order, which keeps runs deterministic.
+// rate allocation changes, and a multi-GPU fleet multiplies that churn by the
+// number of devices, so the engine is built around three ideas:
+//
+//  - Event nodes live in a chunked slab pool with a free list. Slabs are
+//    allocated once and never relocated (growing a flat vector would move
+//    every node — and its callback — through a type-erased move on each
+//    doubling), and a node is recycled as soon as its event fires or is
+//    cancelled, so steady-state simulation does no per-event allocation
+//    (callbacks with small captures are stored inline in the node, see
+//    sim/callback.h).
+//  - The priority queue is an indexed 4-ary heap whose entries carry the sort
+//    key (when, seq) inline — comparisons never chase into the pool — plus
+//    the pool slot; a dense side array maps each slot to its heap position,
+//    so cancel() removes the entry eagerly (swap-with-last plus one sift)
+//    instead of leaving tombstones behind. The heap therefore holds exactly
+//    the live events: pending() is its size and the queue genuinely shrinks
+//    under cancel-heavy load.
+//  - reschedule() moves a pending event to a new time by sifting it in place,
+//    replacing the cancel-then-schedule round trip on the hottest path.
+//
+// Handles encode (pool slot, generation): the slot makes lookup O(1) and the
+// generation — bumped every time a node is recycled — makes handles of fired
+// or cancelled events go stale, so cancel()/reschedule() of an old handle is
+// a safe no-op. Ties in time are broken by a monotone sequence number
+// assigned at schedule (and reassigned on reschedule, exactly as a
+// cancel+schedule pair would), which keeps runs deterministic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "common/time.h"
+#include "sim/callback.h"
 
 namespace daris::sim {
 
 using common::Duration;
 using common::Time;
 
-/// Handle identifying a scheduled event; usable for cancellation.
+/// Handle identifying a scheduled event; usable for cancellation and
+/// in-place rescheduling. Stale handles (fired/cancelled events) are safe.
 struct EventHandle {
   std::uint64_t id = 0;
   bool valid() const { return id != 0; }
@@ -28,8 +51,6 @@ struct EventHandle {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
-
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -37,14 +58,27 @@ class Simulator {
   /// Current simulated time.
   Time now() const { return now_; }
 
-  /// Schedules `cb` to run at absolute time `when` (>= now).
+  /// Schedules `cb` to run at absolute time `when`. Times in the past are
+  /// clamped to now(): the event fires on the current tick, after events
+  /// already queued for it (it draws a fresh sequence number).
   EventHandle schedule_at(Time when, Callback cb);
 
-  /// Schedules `cb` to run `delay` after now.
+  /// Schedules `cb` to run `delay` after now (negative delays clamp to 0).
   EventHandle schedule_after(Duration delay, Callback cb);
 
   /// Cancels a pending event; safe to call with stale or invalid handles.
   void cancel(EventHandle handle);
+
+  /// Moves a pending event to absolute time `when` in place: no allocation,
+  /// the callback stays put, and the handle remains valid. The event draws a
+  /// fresh sequence number, so ties at the new time order exactly as a
+  /// cancel()+schedule_at() pair would. Calling it from inside the event's
+  /// own callback re-arms the event (the periodic-timer pattern). Returns
+  /// false — and does nothing — when the handle is stale or invalid.
+  bool reschedule(EventHandle handle, Time when);
+
+  /// reschedule() at `delay` after now (negative delays clamp to 0).
+  bool reschedule_after(EventHandle handle, Duration delay);
 
   /// Runs until the queue is empty or `deadline` is reached. Events exactly
   /// at `deadline` are executed. Returns the number of events executed.
@@ -56,33 +90,78 @@ class Simulator {
   /// Executes the single next event, if any. Returns false when idle.
   bool step();
 
-  bool empty() const { return live_.empty(); }
+  bool empty() const { return heap_.empty(); }
 
   /// Number of pending (non-cancelled) events.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Pre-sizes the pool and heap for `events` concurrently-pending events.
+  void reserve(std::size_t events);
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+  static constexpr std::uint32_t kSlabShift = 8;  // 256 nodes per slab
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabShift;
+
+  struct Node {
+    std::uint32_t gen = 0;  // bumped on recycle; stale-handle detection
+    std::uint32_t next_free = kNpos;
+    // Number of fire_top() frames currently executing this node's callback.
+    // A callback may re-arm its event at the current tick and pump a nested
+    // step() that fires it again reentrantly, so a single "firing slot"
+    // cannot represent the chain; the node is recycled only when the
+    // outermost frame unwinds (and the event was not left re-armed).
+    std::uint32_t firing_depth = 0;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+
+  /// Heap entry: sort key inline (cache-friendly compares) + owning slot.
+  struct HeapEntry {
+    Time when = 0;
+    std::uint64_t seq = 0;  // tie-break order among equal times
+    std::uint32_t slot = kNpos;
   };
+
+  Node& node(std::uint32_t slot) {
+    return slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
+  }
+  const Node& node(std::uint32_t slot) const {
+    return slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
+  }
+
+  /// Handle for the node currently in `slot`.
+  EventHandle handle_for(std::uint32_t slot) const {
+    return EventHandle{((static_cast<std::uint64_t>(slot) + 1) << 32) |
+                       node(slot).gen};
+  }
+  /// Slot for a handle, or kNpos when the handle is stale/invalid.
+  std::uint32_t decode(EventHandle handle) const;
+
+  std::uint32_t acquire_node();
+  void release_node(std::uint32_t slot);
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  void heap_push(HeapEntry entry);
+  void heap_remove(std::size_t pos);
+  std::size_t sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+
+  /// Pops and executes the heap root (the heap must be non-empty).
+  void fire_top();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Ids scheduled but neither executed nor cancelled. Cancellation is lazy
-  // (cancelled entries stay in queue_ until popped, and are recognised by
-  // their absence here), so this set — not the queue size — is the source
-  // of truth for pending()/empty(), and it makes cancel() of an
-  // already-fired handle a natural no-op.
-  std::unordered_set<std::uint64_t> live_;
+  std::vector<std::unique_ptr<Node[]>> slabs_;
+  std::uint32_t pool_size_ = 0;  // slots handed out across all slabs
+  // Heap position per pool slot (kNpos when off the heap), kept outside Node:
+  // sift loops write one back-pointer per level, and the dense 4-byte stride
+  // keeps those writes cache-resident where the ~64-byte Node stride did not.
+  std::vector<std::uint32_t> pos_;
+  std::vector<HeapEntry> heap_;  // ordered by (when, seq)
+  std::uint32_t free_head_ = kNpos;
 };
 
 }  // namespace daris::sim

@@ -12,7 +12,7 @@ PeriodicDriver::PeriodicDriver(sim::Simulator& sim, rt::Scheduler& scheduler,
   entries_.reserve(static_cast<std::size_t>(scheduler.task_count()));
   for (int i = 0; i < scheduler.task_count(); ++i) {
     const auto& spec = scheduler.task(i).spec();
-    entries_.push_back({spec.period, spec.phase});
+    entries_.push_back({spec.period, spec.phase, {}});
   }
 }
 
@@ -22,7 +22,7 @@ PeriodicDriver::PeriodicDriver(sim::Simulator& sim,
     : sim_(sim), release_(std::move(release)), horizon_(horizon) {
   entries_.reserve(taskset.tasks.size());
   for (const auto& t : taskset.tasks) {
-    entries_.push_back({t.period, t.phase});
+    entries_.push_back({t.period, t.phase, {}});
   }
 }
 
@@ -34,10 +34,18 @@ void PeriodicDriver::start() {
 
 void PeriodicDriver::arm(int task_id, common::Time when) {
   if (when > horizon_) return;
-  sim_.schedule_at(when, [this, task_id, when] {
-    release_(task_id);
-    arm(task_id, when + entries_[static_cast<std::size_t>(task_id)].period);
-  });
+  entries_[static_cast<std::size_t>(task_id)].release_event =
+      sim_.schedule_at(when, [this, task_id] { fire(task_id); });
+}
+
+void PeriodicDriver::fire(int task_id) {
+  release_(task_id);
+  // Re-arm the release event in place (now() is the release instant, so the
+  // next period lands at phase + (k+1)*T); past the horizon it simply lapses.
+  Entry& entry = entries_[static_cast<std::size_t>(task_id)];
+  const common::Time next = sim_.now() + entry.period;
+  if (next > horizon_) return;
+  sim_.reschedule(entry.release_event, next);
 }
 
 OpenLoopDriver::OpenLoopDriver(sim::Simulator& sim,
@@ -99,18 +107,28 @@ double OpenLoopDriver::current_rate(Stream& s, common::Time now) {
   return s.burst ? s.burst_rate_jps : s.calm_rate_jps;
 }
 
-void OpenLoopDriver::arm(int task_id) {
-  Stream& s = streams_[static_cast<std::size_t>(task_id)];
+common::Time OpenLoopDriver::next_arrival(Stream& s) {
   const double rate = current_rate(s, sim_.now());
-  if (rate <= 0.0) return;
+  if (rate <= 0.0) return -1;
   const double gap_s = s.rng.exponential(1.0 / rate);
   const common::Time when = sim_.now() + common::from_sec(gap_s);
-  if (when > horizon_) return;
-  sim_.schedule_at(when, [this, task_id] {
-    ++arrivals_;
-    release_(task_id);
-    arm(task_id);
-  });
+  return when > horizon_ ? -1 : when;
+}
+
+void OpenLoopDriver::arm(int task_id) {
+  Stream& s = streams_[static_cast<std::size_t>(task_id)];
+  const common::Time when = next_arrival(s);
+  if (when < 0) return;
+  s.arrival_event = sim_.schedule_at(when, [this, task_id] { fire(task_id); });
+}
+
+void OpenLoopDriver::fire(int task_id) {
+  ++arrivals_;
+  release_(task_id);
+  Stream& s = streams_[static_cast<std::size_t>(task_id)];
+  const common::Time when = next_arrival(s);
+  if (when < 0) return;
+  sim_.reschedule(s.arrival_event, when);  // re-arm the arrival in place
 }
 
 }  // namespace daris::workload

@@ -46,9 +46,11 @@ class PeriodicDriver {
   struct Entry {
     common::Duration period = 0;
     common::Duration phase = 0;
+    sim::EventHandle release_event;  // re-armed in place each period
   };
 
   void arm(int task_id, common::Time when);
+  void fire(int task_id);
 
   sim::Simulator& sim_;
   std::vector<Entry> entries_;
@@ -101,9 +103,14 @@ class OpenLoopDriver {
     bool burst = false;
     common::Time state_until = 0;  // next dwell-state change
     common::Rng rng{0};
+    sim::EventHandle arrival_event;  // re-armed in place per arrival
   };
 
   void arm(int task_id);
+  void fire(int task_id);
+  /// Draws the next arrival time for the task, or -1 when the process has
+  /// stopped (zero rate) or the draw lands past the horizon.
+  common::Time next_arrival(Stream& s);
   /// Advances the task's MMPP state to `now` and returns the current rate.
   double current_rate(Stream& s, common::Time now);
 

@@ -204,6 +204,213 @@ TEST(Simulator, StepExecutesOneEvent) {
   EXPECT_FALSE(sim.step());
 }
 
+// The past-time contract (identical in Debug and Release): schedule_at with
+// `when` < now() clamps to now() and fires on the current tick, ordered
+// after events already queued for that tick.
+TEST(Simulator, ScheduleInThePastClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  ASSERT_EQ(sim.now(), 100);
+  common::Time fired_at = -1;
+  sim.schedule_at(40, [&] { fired_at = sim.now(); });  // 60 ticks in the past
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+  EXPECT_EQ(sim.now(), 100);  // the clock never moves backwards
+}
+
+TEST(Simulator, ScheduleInThePastDuringCallbackOrdersAfterCurrentTick) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(50, [&] {
+    order.push_back(1);
+    sim.schedule_at(10, [&] { order.push_back(3); });  // clamps to t=50
+  });
+  sim.schedule_at(50, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(30, [] {});
+  sim.run();
+  common::Time fired_at = -1;
+  sim.schedule_after(-100, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 30);
+}
+
+TEST(Simulator, RescheduleMovesEventLater) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventHandle h = sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.reschedule(h, 30));
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, RescheduleMovesEventEarlier) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(20, [&] { order.push_back(1); });
+  const EventHandle h = sim.schedule_at(30, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.reschedule(h, 10));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Simulator, RescheduleOfStaleHandleIsRejected) {
+  Simulator sim;
+  int runs = 0;
+  const EventHandle fired = sim.schedule_at(10, [&] { ++runs; });
+  sim.run();
+  EXPECT_FALSE(sim.reschedule(fired, 100));  // already fired
+  const EventHandle cancelled = sim.schedule_at(20, [&] { ++runs; });
+  sim.cancel(cancelled);
+  EXPECT_FALSE(sim.reschedule(cancelled, 100));  // already cancelled
+  EXPECT_FALSE(sim.reschedule({}, 100));         // invalid handle
+  EXPECT_TRUE(sim.empty());
+  sim.run();
+  EXPECT_EQ(runs, 1);
+}
+
+// Rescheduling draws a fresh tie-break slot, exactly as cancel+schedule
+// would: an event moved onto a time with existing entries runs after them.
+TEST(Simulator, RescheduleOrdersAfterExistingTiesAtNewTime) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventHandle h = sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(50, [&] { order.push_back(2); });
+  sim.reschedule(h, 50);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Simulator, RescheduleToPastClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  common::Time fired_at = -1;
+  const EventHandle h = sim.schedule_at(200, [&] { fired_at = sim.now(); });
+  sim.run_until(150);
+  EXPECT_TRUE(sim.reschedule(h, 50));  // in the past: fires at now()=150
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, CancelAfterRescheduleStillCancels) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle h = sim.schedule_at(10, [&] { ran = true; });
+  sim.reschedule(h, 20);
+  sim.cancel(h);  // the handle stays valid across reschedule
+  EXPECT_TRUE(sim.empty());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+// The periodic-timer pattern: an event re-arms itself from inside its own
+// callback, reusing its node and callback with no new allocation.
+TEST(Simulator, RescheduleFromOwnCallbackReArmsEvent) {
+  Simulator sim;
+  std::vector<common::Time> fired;
+  EventHandle h;
+  h = sim.schedule_at(10, [&] {
+    fired.push_back(sim.now());
+    if (fired.size() < 3) {
+      EXPECT_TRUE(sim.reschedule(h, sim.now() + 10));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<common::Time>{10, 20, 30}));
+  EXPECT_FALSE(sim.reschedule(h, 100));  // lapsed after the last firing
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, CancelInsideOwnCallbackUndoesReArm) {
+  Simulator sim;
+  int runs = 0;
+  EventHandle h;
+  h = sim.schedule_at(10, [&] {
+    ++runs;
+    sim.reschedule(h, sim.now() + 10);
+    sim.cancel(h);  // changes its mind: the re-arm must not survive
+  });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+// A callback may pump the simulator itself (nested step()/run_until()) and
+// still re-arm afterwards: the nested firing must not clobber the outer
+// event's firing state.
+TEST(Simulator, RescheduleFromOwnCallbackSurvivesNestedStep) {
+  Simulator sim;
+  std::vector<common::Time> fired;
+  int helper_runs = 0;
+  EventHandle h;
+  h = sim.schedule_at(10, [&] {
+    fired.push_back(sim.now());
+    sim.schedule_at(sim.now(), [&] { ++helper_runs; });
+    EXPECT_TRUE(sim.step());  // drain the same-tick helper event in place
+    if (fired.size() < 3) {
+      EXPECT_TRUE(sim.reschedule(h, sim.now() + 10));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<common::Time>{10, 20, 30}));
+  EXPECT_EQ(helper_runs, 3);
+  EXPECT_TRUE(sim.empty());
+}
+
+// Hardest reentrancy shape: the callback re-arms its event at the *current*
+// tick and pumps a nested step(), which fires the same node reentrantly.
+// The node must be recycled exactly once (when the outermost frame unwinds),
+// or the free list corrupts and later events share a slot.
+TEST(Simulator, ReentrantSameEventFiringRecyclesNodeOnce) {
+  Simulator sim;
+  int runs = 0;
+  EventHandle h;
+  h = sim.schedule_at(10, [&] {
+    ++runs;
+    if (runs == 1) {
+      EXPECT_TRUE(sim.reschedule(h, sim.now()));
+      EXPECT_TRUE(sim.step());  // fires this very event again, reentrantly
+    }
+  });
+  sim.run();
+  EXPECT_EQ(runs, 2);
+  EXPECT_TRUE(sim.empty());
+  // The pool must hand out distinct live slots afterwards.
+  int a = 0, b = 0;
+  sim.schedule_at(20, [&] { ++a; });
+  sim.schedule_at(21, [&] { ++b; });
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(Simulator, HandlesStayDistinctAcrossNodeReuse) {
+  Simulator sim;
+  const EventHandle a = sim.schedule_at(10, [] {});
+  sim.cancel(a);
+  // The pool recycles a's node for b; a's handle must not alias it.
+  int b_runs = 0;
+  sim.schedule_at(20, [&] { ++b_runs; });
+  sim.cancel(a);                          // stale: must not cancel b
+  EXPECT_FALSE(sim.reschedule(a, 99));    // stale: must not move b
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(b_runs, 1);
+}
+
 TEST(Simulator, ManyEventsStressOrdering) {
   Simulator sim;
   common::Time last = -1;
