@@ -7,9 +7,16 @@
 // Expectations this driver checks:
 //   - a 4-GPU fleet under least-utilization routing sustains >= 3.5x the
 //     1-GPU total JPS with zero HP deadline misses;
-//   - the run is bit-identical across repeats with the same seed;
+//   - under skewed per-model demand (75% of demand on ResNet18, 8 GPUs)
+//     model-affinity routing collapses, while hybrid affinity+spillover
+//     matches or beats least-util throughput with zero HP misses;
+//   - a heterogeneous fleet (2x/1x/1x/0.5x compute) serves demand in
+//     proportion to device speed under score-normalised policies;
+//   - every run is bit-identical across repeats with the same seed;
 //   - open-loop overload (Poisson / bursty arrivals above nominal rate) is
 //     absorbed by cross-GPU migration before jobs are dropped.
+//
+// docs/CLUSTER.md is the routing-policy guide behind these tables.
 #include <cstdio>
 
 #include "common/table.h"
@@ -45,8 +52,23 @@ bool identical(const exp::ClusterResult& a, const exp::ClusterResult& b) {
          a.lp.completed == b.lp.completed && a.hp.missed == b.hp.missed &&
          a.lp.missed == b.lp.missed &&
          a.cross_gpu_migrations == b.cross_gpu_migrations &&
-         a.drops == b.drops &&
+         a.drops == b.drops && a.transfers == b.transfers &&
+         a.transferred_mb == b.transferred_mb &&
+         a.infeasible_rejects == b.infeasible_rejects &&
          a.intra_gpu_migrations == b.intra_gpu_migrations;
+}
+
+void add_policy_row(common::Table& table, const char* label,
+                    const exp::ClusterResult& r) {
+  table.add_row({label, common::fmt_double(r.total_jps, 0),
+                 common::fmt_percent(r.hp.dmr(), 2),
+                 common::fmt_percent(r.lp.dmr(), 2),
+                 common::fmt_int(static_cast<long long>(
+                     r.cross_gpu_migrations)),
+                 common::fmt_int(static_cast<long long>(r.transfers)),
+                 common::fmt_double(r.transferred_mb, 0),
+                 common::fmt_int(static_cast<long long>(r.drops)),
+                 common::fmt_percent(fleet_utilization(r), 0)});
 }
 
 }  // namespace
@@ -58,6 +80,7 @@ int main() {
       cluster::RoutingPolicy::kLeastUtilization,
       cluster::RoutingPolicy::kPowerOfTwo,
       cluster::RoutingPolicy::kModelAffinity,
+      cluster::RoutingPolicy::kHybrid,
   };
 
   double single_gpu_jps = 0.0;
@@ -110,6 +133,111 @@ int main() {
     const exp::ClusterResult a = exp::run_cluster(cfg);
     const exp::ClusterResult b = exp::run_cluster(cfg);
     std::printf("repeat run bit-identical: %s\n\n",
+                identical(a, b) ? "PASS" : "FAIL");
+  }
+
+  // -------------------------------------------------------------------------
+  // Skewed per-model demand: 75% of fleet demand on ResNet18 over 8 GPUs.
+  // Pure model-affinity homes the whole heavy kind on one device and
+  // collapses; hybrid keeps the affinity benefit but balances homes by
+  // demand share and spills at runtime.
+  std::printf("== Skewed per-model demand on 8 GPUs (75%% ResNet18) ==\n\n");
+  double skew_least_util_jps = 0.0;
+  double skew_least_util_lp_dmr = 0.0;
+  double skew_hybrid_jps = 0.0;
+  double skew_hybrid_lp_dmr = 0.0;
+  std::uint64_t skew_hybrid_hp_missed = 0;
+  std::uint64_t skew_affinity_hp_missed = 0;
+  {
+    common::Table skew({"routing", "JPS", "HP DMR", "LP DMR", "x-GPU migr",
+                        "transfers", "MB moved", "drops", "util"});
+    for (const auto policy : {cluster::RoutingPolicy::kModelAffinity,
+                              cluster::RoutingPolicy::kLeastUtilization,
+                              cluster::RoutingPolicy::kHybrid}) {
+      exp::ClusterConfig cfg = base_config(8, policy);
+      cfg.taskset = workload::skewed_taskset(8);
+      const exp::ClusterResult r = exp::run_cluster(cfg);
+      if (policy == cluster::RoutingPolicy::kLeastUtilization) {
+        skew_least_util_jps = r.total_jps;
+        skew_least_util_lp_dmr = r.lp.dmr();
+      }
+      if (policy == cluster::RoutingPolicy::kHybrid) {
+        skew_hybrid_jps = r.total_jps;
+        skew_hybrid_lp_dmr = r.lp.dmr();
+        skew_hybrid_hp_missed = r.hp.missed;
+      }
+      if (policy == cluster::RoutingPolicy::kModelAffinity) {
+        skew_affinity_hp_missed = r.hp.missed;
+      }
+      add_policy_row(skew, cluster::routing_policy_name(policy), r);
+    }
+    std::printf("%s\n", skew.to_string().c_str());
+    std::printf(
+        "hybrid vs least-util JPS: %.0f vs %.0f (match within 1%% or beat): "
+        "%s\n",
+        skew_hybrid_jps, skew_least_util_jps,
+        skew_hybrid_jps >= 0.99 * skew_least_util_jps ? "PASS" : "FAIL");
+    std::printf("hybrid vs least-util LP DMR: %.2f%% vs %.2f%% (<=): %s\n",
+                100.0 * skew_hybrid_lp_dmr, 100.0 * skew_least_util_lp_dmr,
+                skew_hybrid_lp_dmr <= skew_least_util_lp_dmr ? "PASS"
+                                                             : "FAIL");
+    std::printf("hybrid HP deadline misses: %llu (target 0): %s\n",
+                static_cast<unsigned long long>(skew_hybrid_hp_missed),
+                skew_hybrid_hp_missed == 0 ? "PASS" : "FAIL");
+    std::printf("model-affinity collapse visible (HP misses %llu > 0): %s\n",
+                static_cast<unsigned long long>(skew_affinity_hp_missed),
+                skew_affinity_hp_missed > 0 ? "PASS" : "FAIL");
+
+    exp::ClusterConfig cfg =
+        base_config(8, cluster::RoutingPolicy::kHybrid);
+    cfg.taskset = workload::skewed_taskset(8);
+    const exp::ClusterResult a = exp::run_cluster(cfg);
+    const exp::ClusterResult b = exp::run_cluster(cfg);
+    std::printf("skewed repeat run bit-identical: %s\n\n",
+                identical(a, b) ? "PASS" : "FAIL");
+  }
+
+  // -------------------------------------------------------------------------
+  // Heterogeneous fleet: one flagship, two baseline cards, one half-size
+  // card (4.5 GPUs' worth of compute). Placement scores normalise load by
+  // compute scale, and hybrid's home packing gives each device a fair share
+  // of demand proportional to its speed.
+  std::printf(
+      "== Heterogeneous fleet (2.0x / 1.0x / 1.0x / 0.5x compute) ==\n\n");
+  {
+    common::Table het({"routing", "JPS", "HP DMR", "LP DMR", "x-GPU migr",
+                       "transfers", "MB moved", "drops", "util"});
+    exp::ClusterResult hybrid_result;
+    for (const auto policy : {cluster::RoutingPolicy::kRoundRobin,
+                              cluster::RoutingPolicy::kLeastUtilization,
+                              cluster::RoutingPolicy::kHybrid}) {
+      exp::ClusterConfig cfg = base_config(4, policy);
+      for (const double scale : {2.0, 1.0, 1.0, 0.5}) {
+        cluster::GpuNodeSpec node;
+        node.compute_scale = scale;
+        cfg.nodes.push_back(node);
+      }
+      const exp::ClusterResult r = exp::run_cluster(cfg);
+      add_policy_row(het, cluster::routing_policy_name(policy), r);
+      if (policy == cluster::RoutingPolicy::kHybrid) hybrid_result = r;
+    }
+    std::printf("%s\n", het.to_string().c_str());
+
+    std::printf("hybrid per-GPU completions (2.0x/1.0x/1.0x/0.5x): ");
+    for (const auto& g : hybrid_result.per_gpu) {
+      std::printf("%llu ", static_cast<unsigned long long>(g.completed));
+    }
+    std::printf("\n");
+
+    exp::ClusterConfig cfg = base_config(4, cluster::RoutingPolicy::kHybrid);
+    for (const double scale : {2.0, 1.0, 1.0, 0.5}) {
+      cluster::GpuNodeSpec node;
+      node.compute_scale = scale;
+      cfg.nodes.push_back(node);
+    }
+    const exp::ClusterResult a = exp::run_cluster(cfg);
+    const exp::ClusterResult b = exp::run_cluster(cfg);
+    std::printf("heterogeneous repeat run bit-identical: %s\n\n",
                 identical(a, b) ? "PASS" : "FAIL");
   }
 

@@ -1,5 +1,7 @@
-// Multi-GPU serving walkthrough: a three-GPU fleet behind a routing
-// front-end, driven by open-loop Poisson arrivals.
+// Multi-GPU serving walkthrough: a three-GPU fleet behind the hybrid
+// affinity+spillover routing front-end, driven by open-loop Poisson
+// arrivals, with cold-model migrations paying real weight transfers
+// (docs/CLUSTER.md is the policy guide).
 //
 // This is the cluster-level counterpart of quickstart.cpp. It shows the two
 // ways to run a fleet:
@@ -15,7 +17,7 @@
 using namespace daris;
 
 int main() {
-  std::printf("== cluster_serving: 3 GPUs, least-utilization routing ==\n\n");
+  std::printf("== cluster_serving: 3 GPUs, hybrid affinity+spillover ==\n\n");
 
   // --- 1. One-call harness -------------------------------------------------
   // Mixed Table II workload, replicated per GPU so each device sees the
@@ -27,7 +29,13 @@ int main() {
   cfg.sched.num_contexts = 6;
   cfg.sched.oversubscription = 6.0;
   cfg.num_gpus = 3;
-  cfg.routing = cluster::RoutingPolicy::kLeastUtilization;
+  // Hybrid affinity+spillover (see docs/CLUSTER.md for the policy guide):
+  // LP jobs stay on their model-affine home GPU until its load crosses
+  // spill_threshold, then spill to the best-scoring peer. Migrations of a
+  // rejected job to a device whose weights are cold pay a per-MB transfer.
+  cfg.routing = cluster::RoutingPolicy::kHybrid;
+  cfg.spill_threshold = 0.75;
+  cfg.transfer_us_per_mb = 80.0;  // ~PCIe 3.0 x16; 0 = zero-delay premise
   cfg.arrivals = exp::ArrivalMode::kPoisson;
   cfg.duration_s = 2.0;
   cfg.warmup_s = 0.5;
@@ -40,9 +48,12 @@ int main() {
   std::printf("HP: %.2f%% DMR | LP: %.2f%% DMR, %.1f%% rejected\n",
               100.0 * r.hp.dmr(), 100.0 * r.lp.dmr(),
               100.0 * r.lp.rejection_rate());
-  std::printf("cross-GPU migrations: %llu, drops: %llu\n\n",
+  std::printf("cross-GPU migrations: %llu (%llu weight transfers, %.0f MB), "
+              "drops: %llu (%llu infeasible)\n\n",
               static_cast<unsigned long long>(r.cross_gpu_migrations),
-              static_cast<unsigned long long>(r.drops));
+              static_cast<unsigned long long>(r.transfers), r.transferred_mb,
+              static_cast<unsigned long long>(r.drops),
+              static_cast<unsigned long long>(r.infeasible_rejects));
 
   common::Table per_gpu({"GPU", "util", "completed", "routed", "home admits",
                          "migr in", "migr out", "dropped"});
@@ -74,6 +85,9 @@ int main() {
   fleet_cfg.sched.policy = rt::Policy::kMps;
   fleet_cfg.sched.num_contexts = 4;
   fleet_cfg.sched.oversubscription = 4.0;
+  // Heterogeneous fleets instead set fleet_cfg.nodes: one GpuNodeSpec per
+  // device with its own compute_scale (SMs + bandwidth) and memory_mb
+  // budget for pinned model weights.
   cluster::Fleet fleet(sim, fleet_cfg, &collector);
 
   const auto model = dnn::compiled_model(dnn::ModelKind::kResNet18, 1,
@@ -89,8 +103,10 @@ int main() {
   fleet.set_afet(task, std::vector<double>(model.stage_count(), 500.0));
   fleet.run_offline_phase();
 
-  cluster::Router router(fleet, cluster::RoutingPolicy::kRoundRobin,
-                         /*seed=*/1, &collector);
+  cluster::RouterConfig router_cfg;
+  router_cfg.policy = cluster::RoutingPolicy::kRoundRobin;
+  router_cfg.seed = 1;
+  cluster::Router router(fleet, router_cfg, &collector);
   workload::TaskSetSpec taskset;
   taskset.tasks.push_back(spec);
   workload::PeriodicDriver driver(

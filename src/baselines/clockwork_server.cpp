@@ -1,6 +1,5 @@
 #include "baselines/clockwork_server.h"
 
-#include <functional>
 #include <map>
 #include <queue>
 #include <vector>
@@ -26,6 +25,77 @@ struct Earliest {
     return a.release > b.release;
   }
 };
+
+/// All run state behind one pointer, so the per-job completion callback
+/// captures {server, deadline, priority} — well inside sim::Callback's
+/// inline buffer — instead of a reference per counter (which used to cost a
+/// heap cell per completed job).
+struct Server {
+  sim::Simulator& sim;
+  gpusim::Gpu& gpu;
+  gpusim::StreamId stream;
+  const workload::TaskSetSpec& taskset;
+  const std::map<dnn::ModelKind, dnn::CompiledModel>& models;
+  const std::map<dnn::ModelKind, double>& latency_us;
+
+  std::priority_queue<PendingJob, std::vector<PendingJob>, Earliest> queue{};
+  bool busy = false;
+
+  std::uint64_t completed = 0, missed_hp = 0, missed_lp = 0;
+  std::uint64_t done_hp = 0, done_lp = 0, dropped = 0, released = 0;
+
+  void release(int task_index) {
+    ++released;
+    const auto& t = taskset.tasks[static_cast<std::size_t>(task_index)];
+    const common::Time when = sim.now();
+    queue.push(
+        PendingJob{task_index, when, when + t.relative_deadline, t.priority});
+    pump();
+  }
+
+  void pump() {
+    if (busy || queue.empty()) return;
+    const PendingJob job = queue.top();
+    queue.pop();
+    const auto& t = taskset.tasks[static_cast<std::size_t>(job.task_index)];
+    // Clockwork's admission: drop if the predicted completion is late. The
+    // prediction carries a safety margin, as Clockwork schedules against
+    // worst-case estimates to stay predictable.
+    const double pred_us = 1.15 * latency_us.at(t.model);
+    if (sim.now() + common::from_us(pred_us) > job.deadline) {
+      ++dropped;
+      pump();
+      return;
+    }
+    busy = true;
+    const auto& model = models.at(t.model);
+    for (const auto& stage : model.stages) {
+      for (const auto& k : stage.kernels) gpu.launch_kernel(stream, k);
+    }
+    auto on_done = [srv = this, deadline = job.deadline,
+                    priority = job.priority] {
+      srv->complete(deadline, priority);
+    };
+    static_assert(sizeof(on_done) <= sim::Callback::kInlineCapacity,
+                  "Clockwork completion callback must stay inline "
+                  "(tests/test_sim_alloc.cpp pins the shape)");
+    gpu.enqueue_callback(stream, std::move(on_done));
+  }
+
+  void complete(common::Time deadline, common::Priority priority) {
+    ++completed;
+    const bool miss = sim.now() > deadline;
+    if (priority == common::Priority::kHigh) {
+      ++done_hp;
+      if (miss) ++missed_hp;
+    } else {
+      ++done_lp;
+      if (miss) ++missed_lp;
+    }
+    busy = false;
+    pump();
+  }
+};
 }  // namespace
 
 ClockworkResult run_clockwork(const workload::TaskSetSpec& taskset,
@@ -46,69 +116,28 @@ ClockworkResult run_clockwork(const workload::TaskSetSpec& taskset,
         dnn::analytic_sequential_latency_us(models.at(t.model), spec);
   }
 
+  Server server{sim, gpu, stream, taskset, models, latency_us};
+
+  // Periodic releases, re-armed in place each period by the shared driver;
+  // the release sink captures one pointer, so the driver's std::function
+  // stays in its small-buffer storage too.
   const common::Time horizon = common::from_sec(duration_s);
-  std::priority_queue<PendingJob, std::vector<PendingJob>, Earliest> queue;
-  bool busy = false;
-  common::Time busy_until = 0;
-
-  std::uint64_t completed = 0, missed_hp = 0, missed_lp = 0;
-  std::uint64_t done_hp = 0, done_lp = 0, dropped = 0, released = 0;
-
-  std::function<void()> pump = [&] {
-    if (busy || queue.empty()) return;
-    const PendingJob job = queue.top();
-    queue.pop();
-    const auto& t = taskset.tasks[static_cast<std::size_t>(job.task_index)];
-    // Clockwork's admission: drop if the predicted completion is late. The
-    // prediction carries a safety margin, as Clockwork schedules against
-    // worst-case estimates to stay predictable.
-    const double pred_us = 1.15 * latency_us[t.model];
-    if (sim.now() + common::from_us(pred_us) > job.deadline) {
-      ++dropped;
-      pump();
-      return;
-    }
-    busy = true;
-    busy_until = sim.now() + common::from_us(pred_us);
-    const auto& model = models.at(t.model);
-    for (const auto& stage : model.stages) {
-      for (const auto& k : stage.kernels) gpu.launch_kernel(stream, k);
-    }
-    gpu.enqueue_callback(stream, [&, job] {
-      ++completed;
-      const bool miss = sim.now() > job.deadline;
-      if (job.priority == common::Priority::kHigh) {
-        ++done_hp;
-        if (miss) ++missed_hp;
-      } else {
-        ++done_lp;
-        if (miss) ++missed_lp;
-      }
-      busy = false;
-      pump();
-    });
-  };
-
-  // Periodic releases, re-armed in place each period by the shared driver.
   workload::PeriodicDriver driver(
-      sim, taskset,
-      [&](int i) {
-        ++released;
-        const auto& t = taskset.tasks[static_cast<std::size_t>(i)];
-        const common::Time when = sim.now();
-        queue.push(
-            PendingJob{i, when, when + t.relative_deadline, t.priority});
-        pump();
-      },
-      horizon);
+      sim, taskset, [srv = &server](int i) { srv->release(i); }, horizon);
   driver.start();
   sim.run_until(horizon);
 
   ClockworkResult r;
-  r.jps = static_cast<double>(completed) / duration_s;
-  r.hp_dmr = done_hp ? static_cast<double>(missed_hp) / done_hp : 0.0;
-  r.lp_dmr = done_lp ? static_cast<double>(missed_lp) / done_lp : 0.0;
-  r.drop_rate = released ? static_cast<double>(dropped) / released : 0.0;
+  r.jps = static_cast<double>(server.completed) / duration_s;
+  r.hp_dmr = server.done_hp
+                 ? static_cast<double>(server.missed_hp) / server.done_hp
+                 : 0.0;
+  r.lp_dmr = server.done_lp
+                 ? static_cast<double>(server.missed_lp) / server.done_lp
+                 : 0.0;
+  r.drop_rate = server.released
+                    ? static_cast<double>(server.dropped) / server.released
+                    : 0.0;
   return r;
 }
 

@@ -2,28 +2,50 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/rng.h"
 
 namespace daris::cluster {
 
+gpusim::GpuSpec GpuNodeSpec::resolved() const {
+  gpusim::GpuSpec spec = base;
+  spec.sm_count = std::max(
+      1, static_cast<int>(std::lround(base.sm_count * compute_scale)));
+  spec.mem_bandwidth = base.mem_bandwidth * compute_scale;
+  return spec;
+}
+
 Fleet::Fleet(sim::Simulator& sim, const FleetConfig& config,
              metrics::Collector* collector)
-    : sim_(sim) {
-  const int n = std::max(1, config.num_gpus);
+    : sim_(sim), transfer_us_per_mb_(std::max(0.0, config.transfer_us_per_mb)) {
+  if (config.nodes.empty()) {
+    const int n = std::max(1, config.num_gpus);
+    nodes_.reserve(static_cast<std::size_t>(n));
+    for (int g = 0; g < n; ++g) {
+      GpuNodeSpec node;
+      node.base = config.gpu;
+      nodes_.push_back(node);
+    }
+  } else {
+    nodes_ = config.nodes;
+  }
   rt::SchedulerConfig sched_cfg = config.sched;
   sched_cfg.canonicalize();
   // Per-GPU jitter seeds derive from the fleet seed through the same
   // generator, so a fleet run is a pure function of (config, seed).
   common::Rng root(config.seed);
-  gpus_.reserve(static_cast<std::size_t>(n));
-  schedulers_.reserve(static_cast<std::size_t>(n));
-  for (int g = 0; g < n; ++g) {
-    gpus_.push_back(
-        std::make_unique<gpusim::Gpu>(sim_, config.gpu, root.next_u64()));
+  const std::size_t n = nodes_.size();
+  gpus_.reserve(n);
+  schedulers_.reserve(n);
+  hot_models_.assign(n, {});
+  memory_used_mb_.assign(n, 0.0);
+  for (std::size_t g = 0; g < n; ++g) {
+    gpus_.push_back(std::make_unique<gpusim::Gpu>(sim_, nodes_[g].resolved(),
+                                                  root.next_u64()));
     schedulers_.push_back(std::make_unique<rt::Scheduler>(
         sim_, *gpus_.back(), sched_cfg, collector));
-    schedulers_.back()->set_device_id(g);
+    schedulers_.back()->set_device_id(static_cast<int>(g));
   }
 }
 
@@ -36,7 +58,12 @@ int Fleet::add_task(const rt::TaskSpec& spec, const dnn::CompiledModel* model,
     scheduler(g).task(id).resident = (g == home_gpu);
   }
   home_.push_back(home_gpu);
+  model_of_task_.push_back(model);
   assert(id + 1 == task_count());
+  // Pin the model hot on the home device while capacity allows; a model too
+  // large (or arriving once the device is full) stays cold and its migrated
+  // jobs pay the transfer.
+  warm_model(home_gpu, id);
   return id;
 }
 
@@ -46,10 +73,66 @@ void Fleet::set_afet(int task_id, const std::vector<double>& per_stage_us) {
   }
 }
 
+void Fleet::set_afet(int task_id, int g,
+                     const std::vector<double>& per_stage_us) {
+  scheduler(g).set_afet(task_id, per_stage_us);
+}
+
 void Fleet::run_offline_phase() {
   for (int g = 0; g < size(); ++g) {
     scheduler(g).run_offline_phase();
   }
+}
+
+double Fleet::relative_load(int g) const {
+  const int streams = scheduler(g).config().parallelism();
+  return load(g) / static_cast<double>(std::max(1, streams));
+}
+
+double Fleet::transfer_mb(int task_id) const {
+  return model_of_task_[static_cast<std::size_t>(task_id)]->weight_mb;
+}
+
+bool Fleet::model_hot(int g, int task_id) const {
+  const dnn::CompiledModel* model =
+      model_of_task_[static_cast<std::size_t>(task_id)];
+  const auto& hot = hot_models_[static_cast<std::size_t>(g)];
+  return std::find(hot.begin(), hot.end(), model) != hot.end();
+}
+
+bool Fleet::warm_model(int g, int task_id) {
+  if (model_hot(g, task_id)) return true;
+  const dnn::CompiledModel* model =
+      model_of_task_[static_cast<std::size_t>(task_id)];
+  auto& used = memory_used_mb_[static_cast<std::size_t>(g)];
+  if (used + model->weight_mb > node(g).memory_mb) return false;
+  hot_models_[static_cast<std::size_t>(g)].push_back(model);
+  used += model->weight_mb;
+  return true;
+}
+
+bool Fleet::feasible(int task_id) const {
+  const rt::Scheduler& home_sched = scheduler(0);
+  const rt::Task& t0 = home_sched.task(task_id);
+  const bool tested = t0.spec().priority == common::Priority::kLow
+                          ? home_sched.config().lp_admission
+                          : home_sched.config().hp_admission;
+  const dnn::CompiledModel* model =
+      model_of_task_[static_cast<std::size_t>(task_id)];
+  for (int g = 0; g < size(); ++g) {
+    // Memory: hot already, or the device could still pin it.
+    const bool fits_memory =
+        model_hot(g, task_id) ||
+        memory_used_mb(g) + model->weight_mb <= node(g).memory_mb;
+    if (!fits_memory) continue;
+    if (!tested) return true;
+    // Utilisation: one job must fit an idle context of this device (the
+    // best case of Eq. 12, with no HP reservation and no active LP load).
+    const double util = scheduler(g).task(task_id).utilization();
+    const int streams = scheduler(g).config().streams_per_context;
+    if (util < static_cast<double>(streams)) return true;
+  }
+  return false;
 }
 
 int Fleet::active_jobs(int task_id) const {

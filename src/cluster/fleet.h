@@ -1,13 +1,25 @@
 // Multi-GPU fleet: N simulated GPUs, each running its own DARIS scheduler,
 // on one shared discrete-event simulator.
 //
-// Every task is registered on every GPU (weights are shared, as MPS shares
-// them across contexts — the paper's zero-delay migration premise extended
-// across devices), so the router can place any job anywhere. The static HP
-// reservation of Eq. 11 (U^{h,t}_k) is charged only on the task's *home*
-// GPU (Task::resident); otherwise registering the fleet-wide task list on
-// each device would reserve N times the real HP demand and starve LP
-// admission everywhere.
+// Every task is registered on every GPU (the router can place any job
+// anywhere), but the static HP reservation of Eq. 11 (U^{h,t}_k) is charged
+// only on the task's *home* GPU (Task::resident); otherwise registering the
+// fleet-wide task list on each device would reserve N times the real HP
+// demand and starve LP admission everywhere.
+//
+// Model weights are a per-device resource: each GPU pins ("keeps hot") the
+// models of the tasks homed on it, up to its memory capacity. A job may
+// still run where its model is cold, but the reactive migration of a
+// rejected job to such a device ships the model's footprint first
+// (Router charges `weight_mb * transfer_us_per_mb` of delay); a successful
+// transfer warms the model on the target when capacity allows, so repeat
+// migrations of a hot model are free. See docs/CLUSTER.md.
+//
+// Fleets may be heterogeneous: each device carries a GpuNodeSpec (compute
+// scale + memory capacity). Placement comparisons between devices go
+// through `placement_score()` (load normalised by compute scale) so a
+// half-size GPU at 40% admitted utilisation ranks busier than a flagship at
+// 50%.
 //
 // Per-GPU seeds, schedulers, and MRET estimators are independent: each
 // device accumulates its own execution-time history, exactly as real MPS
@@ -25,18 +37,50 @@
 
 namespace daris::cluster {
 
+/// One device of a (possibly heterogeneous) fleet.
+struct GpuNodeSpec {
+  /// Architectural template; compute_scale is applied on top of it.
+  gpusim::GpuSpec base = gpusim::GpuSpec::rtx2080ti();
+
+  /// Relative throughput versus the base spec: scales the SM count and the
+  /// memory bandwidth together (0.5 = half-size inference card, 2.0 =
+  /// flagship). Latency constants (launch/sync overhead) are host-side and
+  /// stay as the base spec sets them.
+  double compute_scale = 1.0;
+
+  /// Device memory available for pinned (hot) model weights, in MB.
+  /// 11 GB mirrors the paper's RTX 2080 Ti.
+  double memory_mb = 11264.0;
+
+  /// The base spec with compute_scale applied.
+  gpusim::GpuSpec resolved() const;
+};
+
 struct FleetConfig {
+  /// Homogeneous fleet: `num_gpus` copies of `gpu`. Ignored when `nodes` is
+  /// non-empty.
   int num_gpus = 2;
   gpusim::GpuSpec gpu = gpusim::GpuSpec::rtx2080ti();
+
+  /// Heterogeneous fleet: one entry per device (overrides num_gpus/gpu).
+  std::vector<GpuNodeSpec> nodes;
+
   rt::SchedulerConfig sched;
+
+  /// Cross-GPU weight-transfer cost, microseconds per MB of model
+  /// footprint, charged when a rejected job migrates to a device where its
+  /// model is cold. 80 us/MB ~= PCIe 3.0 x16 effective bandwidth. 0 restores
+  /// the zero-delay migration premise.
+  double transfer_us_per_mb = 80.0;
+
   std::uint64_t seed = 42;
 };
 
 class Fleet {
  public:
-  /// Creates `config.num_gpus` GPU + scheduler pairs on `sim`. All job and
-  /// stage events flow into `collector` (may be null), stamped with the
-  /// device index.
+  /// Creates one GPU + scheduler pair per configured device on `sim`. All
+  /// job and stage events flow into `collector` (may be null), stamped with
+  /// the device index.
   Fleet(sim::Simulator& sim, const FleetConfig& config,
         metrics::Collector* collector);
 
@@ -54,13 +98,26 @@ class Fleet {
     return *schedulers_[static_cast<std::size_t>(g)];
   }
 
+  /// The device's configured node spec (resolved view of a homogeneous
+  /// fleet's template when `FleetConfig::nodes` was empty).
+  const GpuNodeSpec& node(int g) const {
+    return nodes_[static_cast<std::size_t>(g)];
+  }
+  double compute_scale(int g) const { return node(g).compute_scale; }
+
   /// Registers the task on every GPU (same id on each scheduler) with
-  /// `home_gpu` carrying its static HP reservation. Returns the task id.
+  /// `home_gpu` carrying its static HP reservation, and pins the task's
+  /// model hot on the home GPU when its memory capacity allows. Returns the
+  /// task id.
   int add_task(const rt::TaskSpec& spec, const dnn::CompiledModel* model,
                int home_gpu);
 
   /// Seeds the task's MRET estimator on every GPU (Eq. 10).
   void set_afet(int task_id, const std::vector<double>& per_stage_us);
+
+  /// Seeds one device's MRET estimator (heterogeneous fleets profile AFET
+  /// per node spec).
+  void set_afet(int task_id, int g, const std::vector<double>& per_stage_us);
 
   /// Algorithm 1 initial context assignment, on every GPU.
   void run_offline_phase();
@@ -72,6 +129,46 @@ class Fleet {
 
   /// Admitted (active) utilisation of GPU g — the router's load signal.
   double load(int g) const { return scheduler(g).active_utilization(); }
+
+  /// load(g) normalised to [0, ~1] by the device's total stream capacity
+  /// (Nc x Ns). The hybrid policy's spill threshold compares against this.
+  double relative_load(int g) const;
+
+  /// Device-comparable busyness: load(g) divided by the node's compute
+  /// scale, so heterogeneous devices rank by absolute headroom. Identical
+  /// to load(g) in homogeneous fleets.
+  double placement_score(int g) const {
+    return load(g) / node(g).compute_scale;
+  }
+
+  // --- model memory (hot-weight pinning) ---------------------------------
+
+  /// Weight footprint shipped when a job of the task migrates to a cold
+  /// device, in MB.
+  double transfer_mb(int task_id) const;
+  double transfer_us_per_mb() const { return transfer_us_per_mb_; }
+
+  /// True when the task's model weights are pinned on GPU g (no transfer
+  /// needed to run there).
+  bool model_hot(int g, int task_id) const;
+
+  /// Pins the task's model on GPU g if free capacity allows (called after a
+  /// successful weight transfer). Returns true when the model is hot on g
+  /// afterwards.
+  bool warm_model(int g, int task_id);
+
+  double memory_used_mb(int g) const {
+    return memory_used_mb_[static_cast<std::size_t>(g)];
+  }
+
+  // --- fleet-level admission (feasibility) -------------------------------
+
+  /// True when some device could host a job of the task at all: the model
+  /// is hot there or could still be pinned, and — for jobs subject to the
+  /// admission test — one job's utilisation fits an idle context (Eq. 12
+  /// could ever pass). The router rejects infeasible jobs outright instead
+  /// of bouncing them through migration retries.
+  bool feasible(int task_id) const;
 
   /// Fleet-wide admitted-but-unfinished jobs of one logical task. The
   /// schedulers' per-device backlog guard only sees local Task instances;
@@ -90,9 +187,15 @@ class Fleet {
 
  private:
   sim::Simulator& sim_;
+  std::vector<GpuNodeSpec> nodes_;
   std::vector<std::unique_ptr<gpusim::Gpu>> gpus_;
   std::vector<std::unique_ptr<rt::Scheduler>> schedulers_;
   std::vector<int> home_;
+  std::vector<const dnn::CompiledModel*> model_of_task_;
+  /// Per GPU: distinct models pinned hot, and the MB they occupy.
+  std::vector<std::vector<const dnn::CompiledModel*>> hot_models_;
+  std::vector<double> memory_used_mb_;
+  double transfer_us_per_mb_ = 0.0;
 };
 
 }  // namespace daris::cluster

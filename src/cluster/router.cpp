@@ -14,43 +14,67 @@ const char* routing_policy_name(RoutingPolicy p) {
       return "power-of-two";
     case RoutingPolicy::kModelAffinity:
       return "model-affinity";
+    case RoutingPolicy::kHybrid:
+      return "hybrid";
   }
   return "?";
 }
 
+Router::Router(Fleet& fleet, const RouterConfig& config,
+               metrics::Collector* collector)
+    : fleet_(fleet),
+      config_(config),
+      rng_(config.seed),
+      collector_(collector) {}
+
 Router::Router(Fleet& fleet, RoutingPolicy policy, std::uint64_t seed,
                metrics::Collector* collector)
-    : fleet_(fleet), policy_(policy), rng_(seed), collector_(collector) {}
+    : Router(fleet, RouterConfig{policy, 0.75, seed}, collector) {}
 
 int Router::pick(int task_id) {
   const int n = fleet_.size();
-  switch (policy_) {
+  switch (config_.policy) {
     case RoutingPolicy::kRoundRobin: {
       const int g = rr_next_;
       rr_next_ = (rr_next_ + 1) % n;
       return g;
     }
     case RoutingPolicy::kLeastUtilization:
-      return least_loaded_peer(/*exclude=*/-1);
+      return best_peer(/*exclude=*/-1);
     case RoutingPolicy::kPowerOfTwo: {
       const int a = static_cast<int>(rng_.uniform_int(0, n - 1));
       const int b = static_cast<int>(rng_.uniform_int(0, n - 1));
-      return fleet_.load(b) < fleet_.load(a) ? b : a;
+      return fleet_.placement_score(b) < fleet_.placement_score(a) ? b : a;
     }
     case RoutingPolicy::kModelAffinity:
       return fleet_.home_gpu(task_id);
+    case RoutingPolicy::kHybrid: {
+      // Affinity + spillover: stay on the model-affine home GPU (weights
+      // hot, per-device MRET history warm) while it has headroom; once its
+      // relative load crosses the threshold, spill to the best-scoring
+      // peer — but only when that peer actually scores better, so a
+      // uniformly saturated fleet does not ping-pong jobs for nothing.
+      const int home = fleet_.home_gpu(task_id);
+      if (fleet_.relative_load(home) < config_.spill_threshold) return home;
+      const int peer = best_peer(home);
+      if (peer < 0 ||
+          fleet_.placement_score(peer) >= fleet_.placement_score(home)) {
+        return home;
+      }
+      return peer;
+    }
   }
   return 0;
 }
 
-int Router::least_loaded_peer(int exclude) const {
+int Router::best_peer(int exclude) const {
   int best = -1;
-  double best_load = std::numeric_limits<double>::infinity();
+  double best_score = std::numeric_limits<double>::infinity();
   for (int g = 0; g < fleet_.size(); ++g) {
     if (g == exclude) continue;
-    const double load = fleet_.load(g);
-    if (load < best_load) {
-      best_load = load;
+    const double score = fleet_.placement_score(g);
+    if (score < best_score) {
+      best_score = score;
       best = g;
     }
   }
@@ -59,6 +83,7 @@ int Router::least_loaded_peer(int exclude) const {
 
 void Router::release(int task_id) {
   const auto& spec = fleet_.scheduler(0).task(task_id).spec();
+  const common::Time released = fleet_.simulator().now();
   // HP jobs go to their home GPU — the device carrying their static Eq. 11
   // reservation — mirroring the paper's fixed HP context assignment one
   // level up (a dynamically routed HP job would land where no capacity is
@@ -71,7 +96,7 @@ void Router::release(int task_id) {
   metrics::JobEvent ev;
   ev.task_id = task_id;
   ev.priority = spec.priority;
-  ev.release = fleet_.simulator().now();
+  ev.release = released;
   ev.relative_deadline = spec.relative_deadline;
   ev.gpu = home;
   if (collector_) {
@@ -79,14 +104,28 @@ void Router::release(int task_id) {
     collector_->on_route(home);
   }
 
+  // Fleet admission controller: a job no device can feasibly host (model
+  // fits no GPU's memory, or one job's utilisation exceeds every idle
+  // context) is shed here, not bounced through placement and migration.
+  if (!fleet_.feasible(task_id)) {
+    ++drops_;
+    ++infeasible_;
+    if (collector_) {
+      collector_->on_reject(ev);
+      collector_->on_infeasible(home);
+    }
+    return;
+  }
+
   // Fleet-wide backlog guard, mirroring the per-device rule in
   // Scheduler::release_job (LP: shed while a predecessor is active anywhere;
-  // HP: small bounded backlog).
+  // HP: small bounded backlog). Jobs whose weight transfer is still in
+  // flight sit in no scheduler yet, so they are counted here explicitly.
   const int backlog_cap =
       spec.priority == common::Priority::kLow
           ? 1
           : fleet_.scheduler(home).config().max_backlog_per_task;
-  if (fleet_.active_jobs(task_id) >= backlog_cap) {
+  if (fleet_.active_jobs(task_id) + pending_jobs(task_id) >= backlog_cap) {
     ++drops_;
     if (collector_) {
       collector_->on_reject(ev);
@@ -101,20 +140,83 @@ void Router::release(int task_id) {
   }
 
   // Cross-GPU migration: the job failed admission on every context of its
-  // routed GPU; offer it once to the least-loaded peer before dropping.
-  const int peer = least_loaded_peer(home);
-  if (peer >= 0 &&
-      fleet_.scheduler(peer).release_job(task_id, /*report=*/false)) {
-    ++migrations_;
-    if (collector_) collector_->on_cross_migration(home, peer);
+  // routed GPU; offer it once to the best-scoring peer before dropping.
+  const int peer = best_peer(home);
+  if (peer < 0) {
+    drop(task_id, home, released);
     return;
   }
+  migrate(task_id, home, peer, released);
+}
 
-  ++drops_;
-  if (collector_) {
-    collector_->on_reject(ev);
-    collector_->on_drop(home);
+void Router::migrate(int task_id, int from, int peer,
+                     common::Time released) {
+  if (!fleet_.model_hot(peer, task_id)) {
+    // Cold target: ship the weights with the job. The transfer is charged
+    // up front (the bytes move even if the peer later rejects the job) and
+    // the delivery below happens once the copy lands. Concurrent cold
+    // migrations of one model each ship a full copy — an upper bound on
+    // transfer traffic; attaching to an in-flight copy is a ROADMAP item.
+    const double mb = fleet_.transfer_mb(task_id);
+    ++transfers_;
+    transferred_mb_ += mb;
+    if (collector_) collector_->on_transfer(peer, mb);
+    const common::Duration delay =
+        common::from_us(mb * fleet_.transfer_us_per_mb());
+    if (delay > 0) {
+      ++pending_transfers_;
+      add_pending_job(task_id, 1);
+      fleet_.simulator().schedule_after(
+          delay, [this, task_id, from, peer, released] {
+            --pending_transfers_;
+            add_pending_job(task_id, -1);
+            deliver(task_id, from, peer, released);
+          });
+      return;
+    }
   }
+  deliver(task_id, from, peer, released);
+}
+
+void Router::deliver(int task_id, int from, int peer,
+                     common::Time released) {
+  // Weights are on the device now (transfer done, or hot already); pin them
+  // while capacity allows so repeat migrations of this model are free. The
+  // job keeps its original release time: the transfer consumed deadline
+  // slack (and shows in its response time), it did not reset the clock.
+  fleet_.warm_model(peer, task_id);
+  if (fleet_.scheduler(peer).release_job(task_id, /*report=*/false,
+                                         released)) {
+    ++migrations_;
+    if (collector_) collector_->on_cross_migration(from, peer);
+    return;
+  }
+  drop(task_id, from, released);
+}
+
+void Router::drop(int task_id, int gpu, common::Time released) {
+  ++drops_;
+  if (collector_ == nullptr) return;
+  const auto& spec = fleet_.scheduler(0).task(task_id).spec();
+  metrics::JobEvent ev;
+  ev.task_id = task_id;
+  ev.priority = spec.priority;
+  ev.release = released;
+  ev.relative_deadline = spec.relative_deadline;
+  ev.gpu = gpu;
+  collector_->on_reject(ev);
+  collector_->on_drop(gpu);
+}
+
+int Router::pending_jobs(int task_id) const {
+  const auto i = static_cast<std::size_t>(task_id);
+  return i < pending_jobs_.size() ? pending_jobs_[i] : 0;
+}
+
+void Router::add_pending_job(int task_id, int delta) {
+  const auto i = static_cast<std::size_t>(task_id);
+  if (i >= pending_jobs_.size()) pending_jobs_.resize(i + 1, 0);
+  pending_jobs_[i] += delta;
 }
 
 }  // namespace daris::cluster

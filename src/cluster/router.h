@@ -1,20 +1,38 @@
-// Load-balancing front-end for a GPU fleet.
+// Placement front-end for a GPU fleet.
 //
 // Each released job is offered to one GPU: HP jobs to their home GPU (the
 // device carrying their static Eq. 11 reservation — the paper's fixed HP
 // context assignment, lifted one level), LP jobs to the GPU chosen by the
-// routing policy. If that GPU's DARIS scheduler rejects the job (Eq. 12
-// failed on every context, or a backlog guard fired), the router offers it
-// once to the least-loaded *peer* — cross-GPU migration — and only drops it
-// when the peer rejects it too. The router owns the fleet-level
-// release/reject accounting (the schedulers run in silent mode so a retried
-// job is not double-counted) and feeds per-GPU RoutingCounters in metrics.
+// routing policy. Before any placement the fleet admission controller sheds
+// jobs no device can feasibly host (model fits no GPU's memory, or — for
+// admission-tested classes — one job's utilisation exceeds every idle
+// context), so hopeless jobs never bounce through migration retries.
+//
+// If the routed GPU's DARIS scheduler rejects the job (Eq. 12 failed on
+// every context, or a backlog guard fired), the router offers it once to
+// the best-scoring *peer* — cross-GPU migration. A migration to a device
+// where the job's model is cold first ships the weights: the delivery is
+// delayed by `weight_mb * transfer_us_per_mb` (FleetConfig), the transfer
+// is recorded in RoutingCounters, and a successful transfer warms the model
+// on the target so repeat migrations are free. The job is dropped only when
+// the peer rejects it too (for delayed deliveries, at arrival time).
+//
+// The router owns the fleet-level release/reject accounting (the schedulers
+// run in silent mode so a retried job is not double-counted) and feeds
+// per-GPU RoutingCounters in metrics. In-flight transfer deliveries are
+// simulator events that reference the router: keep it alive while the
+// simulator runs, as with the release drivers.
+//
+// docs/CLUSTER.md is the policy guide (when each policy wins, the
+// skewed-demand failure mode, threshold semantics).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "cluster/fleet.h"
 #include "common/rng.h"
+#include "common/time.h"
 #include "metrics/collector.h"
 
 namespace daris::cluster {
@@ -22,22 +40,38 @@ namespace daris::cluster {
 /// Placement policies for LP jobs (HP jobs always start at their home GPU).
 enum class RoutingPolicy {
   kRoundRobin,        // cycle through GPUs regardless of load
-  kLeastUtilization,  // GPU with the lowest admitted utilisation
-  kPowerOfTwo,        // sample two GPUs, pick the less loaded one
+  kLeastUtilization,  // GPU with the lowest placement score
+  kPowerOfTwo,        // sample two GPUs, pick the better-scoring one
   kModelAffinity,     // the task's home GPU (same model => same weights hot)
+  kHybrid,            // home GPU until its load crosses the spill threshold,
+                      // then the best-scoring peer (affinity + spillover)
 };
 
 const char* routing_policy_name(RoutingPolicy p);
 
+struct RouterConfig {
+  RoutingPolicy policy = RoutingPolicy::kLeastUtilization;
+
+  /// Hybrid only: spill away from the home GPU when its relative load
+  /// (admitted utilisation over its Nc x Ns stream capacity,
+  /// Fleet::relative_load) reaches this fraction.
+  double spill_threshold = 0.75;
+
+  std::uint64_t seed = 42;
+};
+
 class Router {
  public:
+  Router(Fleet& fleet, const RouterConfig& config,
+         metrics::Collector* collector);
+  /// Convenience: default spill threshold.
   Router(Fleet& fleet, RoutingPolicy policy, std::uint64_t seed,
          metrics::Collector* collector);
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
 
-  RoutingPolicy policy() const { return policy_; }
+  RoutingPolicy policy() const { return config_.policy; }
 
   /// Routes one released job of `task_id` (the drivers' ReleaseFn target).
   void release(int task_id);
@@ -45,21 +79,49 @@ class Router {
   /// Jobs admitted by a peer after their routed GPU rejected them.
   std::uint64_t cross_gpu_migrations() const { return migrations_; }
 
-  /// Jobs rejected by both the routed GPU and the offered peer.
+  /// Jobs rejected by both the routed GPU and the offered peer, plus
+  /// infeasible ones.
   std::uint64_t drops() const { return drops_; }
+
+  /// Jobs shed by the fleet admission controller (subset of drops()).
+  std::uint64_t infeasible_rejects() const { return infeasible_; }
+
+  /// Cross-GPU weight transfers performed (cold-model migrations).
+  std::uint64_t transfers() const { return transfers_; }
+  double transferred_mb() const { return transferred_mb_; }
+
+  /// Migrations whose weight transfer is still in flight.
+  std::uint64_t pending_transfers() const { return pending_transfers_; }
 
  private:
   int pick(int task_id);
-  /// Least-loaded GPU other than `exclude` (-1 when the fleet has one GPU).
-  int least_loaded_peer(int exclude) const;
+  /// Best-scoring GPU other than `exclude` (-1 when the fleet has one GPU).
+  int best_peer(int exclude) const;
+  /// Offers a rejected job to `peer`, shipping weights first when the model
+  /// is cold there; `from` is the GPU that rejected it, `released` the
+  /// job's original release time (deadlines anchor there, so a transfer
+  /// consumes the job's slack).
+  void migrate(int task_id, int from, int peer, common::Time released);
+  /// Transfer-completion half of migrate(): admit-or-drop on the target.
+  void deliver(int task_id, int from, int peer, common::Time released);
+  void drop(int task_id, int gpu, common::Time released);
+  /// Jobs of the task whose weight transfer is still in flight (registered
+  /// in no scheduler yet, so the backlog guards must count them here).
+  int pending_jobs(int task_id) const;
+  void add_pending_job(int task_id, int delta);
 
   Fleet& fleet_;
-  RoutingPolicy policy_;
+  RouterConfig config_;
   common::Rng rng_;
   metrics::Collector* collector_;
   int rr_next_ = 0;
   std::uint64_t migrations_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t infeasible_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t pending_transfers_ = 0;
+  double transferred_mb_ = 0.0;
+  std::vector<int> pending_jobs_;  // per task id
 };
 
 }  // namespace daris::cluster

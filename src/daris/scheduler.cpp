@@ -117,14 +117,16 @@ double Scheduler::predicted_backlog_us(int ctx) const {
          static_cast<double>(config_.streams_per_context);
 }
 
-bool Scheduler::release_job(int task_id, bool report) {
+bool Scheduler::release_job(int task_id, bool report, Time released_at) {
   Task& t = task(task_id);
-  const Time now = sim_.now();
+  // Backdated release (cluster migration after a weight transfer): deadlines
+  // and response times anchor at the original release, not the delivery.
+  const Time release = released_at >= 0 ? released_at : sim_.now();
 
   metrics::JobEvent ev;
   ev.task_id = task_id;
   ev.priority = t.spec().priority;
-  ev.release = now;
+  ev.release = release;
   ev.relative_deadline = t.spec().relative_deadline;
   ev.gpu = device_id_;
   if (report && collector_) collector_->on_release(ev);
@@ -182,17 +184,20 @@ bool Scheduler::release_job(int task_id, bool report) {
   auto jr = std::make_unique<JobRuntime>();
   jr->job.task = &t;
   jr->job.job_id = next_job_id_++;
-  jr->job.release = now;
-  jr->job.absolute_deadline = now + t.spec().relative_deadline;
+  jr->job.release = release;
+  jr->job.absolute_deadline = release + t.spec().relative_deadline;
   jr->job.context = target_ctx;
   jr->job.admitted_utilization = util;
 
   // Freeze virtual deadlines from the current MRET shares (Eq. 8). The last
-  // stage absorbs rounding so it lands exactly on the job deadline.
+  // stage absorbs rounding so it lands exactly on the job deadline. A
+  // backdated job's early virtual deadlines may already lie in the past —
+  // its stages then enter the queues miss-boosted, which is exactly the
+  // behind-schedule treatment the transfer delay earned it.
   const auto shares =
       t.mret().virtual_deadlines(t.spec().relative_deadline);
   jr->job.stage_deadlines.resize(shares.size());
-  Time acc = now;
+  Time acc = release;
   for (std::size_t j = 0; j + 1 < shares.size(); ++j) {
     acc += shares[j];
     jr->job.stage_deadlines[j] = acc;

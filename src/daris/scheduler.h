@@ -51,8 +51,12 @@ class Scheduler {
   /// Releases one job of the task (called by the release drivers). Returns
   /// true when the job was admitted. With `report` false the release/reject
   /// collector events are suppressed — the cluster router retries rejected
-  /// jobs on peer GPUs and owns the fleet-level accounting.
-  bool release_job(int task_id, bool report = true);
+  /// jobs on peer GPUs and owns the fleet-level accounting. `released_at`
+  /// (>= 0) backdates the job's release: the cluster router delivers a
+  /// migrated job after its weight transfer with the *original* release
+  /// time, so the copy consumes deadline slack (and shows up in response
+  /// times) instead of resetting the job's clock.
+  bool release_job(int task_id, bool report = true, Time released_at = -1);
 
   Task& task(int id) { return *tasks_[static_cast<std::size_t>(id)]; }
   const Task& task(int id) const {

@@ -35,6 +35,11 @@ CompiledModel lower(const NetworkDef& net, int batch,
   const double batch_inflation =
       1.0 + params.batch_work_overhead * (b - 1.0) / b;
   std::uint32_t tag = 0;
+  double weight_bytes = 0.0;
+  for (const auto& stage : net.stages) {
+    for (const auto& layer : stage.layers) weight_bytes += layer.weight_bytes;
+  }
+  model.weight_mb = weight_bytes / (1024.0 * 1024.0);
   for (const auto& stage : net.stages) {
     CompiledStage cs;
     cs.name = stage.name;

@@ -47,6 +47,9 @@ struct CompiledStage {
 struct CompiledModel {
   std::string name;
   int batch = 1;
+  /// Parameter footprint in MB (fp32 weights, batch-independent). Sizes the
+  /// cluster layer's hot-model pinning and cross-GPU weight transfers.
+  double weight_mb = 0.0;
   std::vector<CompiledStage> stages;
 
   std::size_t stage_count() const { return stages.size(); }

@@ -1,5 +1,7 @@
 #include "experiments/cluster_runner.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 
@@ -21,6 +23,126 @@ const char* arrival_mode_name(ArrivalMode m) {
   return "?";
 }
 
+namespace {
+
+/// Home-GPU assignment. The home carries the task's static HP reservation
+/// (Fleet::add_task), pins its model hot, and is the affinity target of the
+/// model-affinity and hybrid policies. `work_per_job` (SM-us per release,
+/// one entry per task) converts arrival rates into device load: a UNet job
+/// costs several ResNet18 jobs, so balancing raw JPS would overload the
+/// heavy-model hosts.
+std::vector<int> assign_homes(const ClusterConfig& config,
+                              const cluster::Fleet& fleet,
+                              const std::vector<double>& work_per_job) {
+  const auto& tasks = config.taskset.tasks;
+  std::vector<int> homes(tasks.size(), 0);
+  const int n = fleet.size();
+
+  if (config.routing == cluster::RoutingPolicy::kModelAffinity) {
+    // Pure affinity: one device per model kind. Minimal weight footprint,
+    // but a kind's whole demand lands on one GPU — the skewed-demand
+    // collapse documented in docs/CLUSTER.md.
+    std::map<dnn::ModelKind, int> kind_home;
+    int next_home = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      auto [it, fresh] = kind_home.try_emplace(tasks[i].model, next_home);
+      if (fresh) next_home = (next_home + 1) % n;
+      homes[i] = it->second;
+    }
+    return homes;
+  }
+
+  if (config.routing == cluster::RoutingPolicy::kHybrid) {
+    // Affinity-aware load balancing. Each kind gets the fewest hosts its
+    // load share needs (weights hot on few GPUs), sized in SM-us of work
+    // per second rather than raw JPS — a UNet job costs ~4 ResNet18 jobs —
+    // and its tasks are least-fill balanced across those hosts, so the HP
+    // tasks (listed first per kind) spread instead of piling onto the first
+    // host. Fair shares are proportional to compute scale, so a flagship
+    // hosts more load than a half-size card.
+    auto task_load = [&](std::size_t i) {
+      return work_per_job[i] * 1.0e9 /
+             static_cast<double>(
+                 std::max<common::Duration>(tasks[i].period, 1));
+    };
+    double total_load = 0.0;
+    std::map<dnn::ModelKind, double> kind_load;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      total_load += task_load(i);
+      kind_load[tasks[i].model] += task_load(i);
+    }
+    double total_scale = 0.0;
+    for (int g = 0; g < n; ++g) total_scale += fleet.compute_scale(g);
+    std::vector<double> fair(static_cast<std::size_t>(n), 0.0);
+    for (int g = 0; g < n; ++g) {
+      fair[static_cast<std::size_t>(g)] =
+          std::max(1e-9, total_load * fleet.compute_scale(g) / total_scale);
+    }
+    std::vector<double> assigned(static_cast<std::size_t>(n), 0.0);
+    auto fill = [&](int g) {
+      return assigned[static_cast<std::size_t>(g)] /
+             fair[static_cast<std::size_t>(g)];
+    };
+    // Heaviest kinds claim their hosts first (deterministic tie-break on
+    // the enum order the map already provides).
+    std::vector<dnn::ModelKind> kinds;
+    kinds.reserve(kind_load.size());
+    for (const auto& [kind, load] : kind_load) kinds.push_back(kind);
+    std::stable_sort(kinds.begin(), kinds.end(),
+                     [&](dnn::ModelKind a, dnn::ModelKind b) {
+                       return kind_load.at(a) > kind_load.at(b);
+                     });
+    for (const dnn::ModelKind kind : kinds) {
+      const int host_count = std::clamp(
+          static_cast<int>(
+              std::ceil(kind_load.at(kind) * n / total_load)),
+          1, n);
+      // The kind's hosts: the `host_count` least-filled devices.
+      std::vector<int> order(static_cast<std::size_t>(n));
+      for (int g = 0; g < n; ++g) order[static_cast<std::size_t>(g)] = g;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](int a, int b) { return fill(a) < fill(b); });
+      order.resize(static_cast<std::size_t>(host_count));
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i].model != kind) continue;
+        int best = order.front();
+        for (const int g : order) {
+          if (fill(g) < fill(best)) best = g;
+        }
+        homes[i] = best;
+        assigned[static_cast<std::size_t>(best)] += task_load(i);
+      }
+    }
+    return homes;
+  }
+
+  // Every other policy stripes tasks across the fleet.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    homes[i] = static_cast<int>(i) % n;
+  }
+  return homes;
+}
+
+/// Field-wise GpuSpec equality, for sharing AFET profiles only between
+/// devices that are genuinely identical (same base spec *and* scale — two
+/// same-scale nodes with different base specs must profile separately).
+bool same_spec(const gpusim::GpuSpec& a, const gpusim::GpuSpec& b) {
+  return a.sm_count == b.sm_count && a.mem_bandwidth == b.mem_bandwidth &&
+         a.launch_overhead_us == b.launch_overhead_us &&
+         a.sync_overhead_us == b.sync_overhead_us &&
+         a.alpha_intra == b.alpha_intra &&
+         a.intra_saturation == b.intra_saturation &&
+         a.kappa_oversub == b.kappa_oversub &&
+         a.quant_smoothing == b.quant_smoothing &&
+         a.quota_penalty_a == b.quota_penalty_a &&
+         a.quota_penalty_q0 == b.quota_penalty_q0 &&
+         a.jitter_cv == b.jitter_cv &&
+         a.jitter_load_slope == b.jitter_load_slope &&
+         a.jitter_rho == b.jitter_rho;
+}
+
+}  // namespace
+
 ClusterResult run_cluster(const ClusterConfig& config) {
   sim::Simulator sim;
 
@@ -34,14 +156,27 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   cluster::FleetConfig fleet_cfg;
   fleet_cfg.num_gpus = config.num_gpus;
   fleet_cfg.gpu = config.gpu;
+  fleet_cfg.nodes = config.nodes;
   fleet_cfg.sched = sched_cfg;
+  fleet_cfg.transfer_us_per_mb = config.transfer_us_per_mb;
   fleet_cfg.seed = config.seed;
   cluster::Fleet fleet(sim, fleet_cfg, &collector);
-  // Sized from the fleet, not the config: Fleet clamps num_gpus to >= 1.
+  // Sized from the fleet, not the config: Fleet clamps num_gpus to >= 1 and
+  // config.nodes overrides it entirely.
   collector.set_gpu_count(fleet.size());
 
-  // One compiled model per distinct kind, shared by every GPU (the
-  // zero-delay migration premise: weights are resident fleet-wide).
+  // Pre-size the event pool from the task-set cardinality (one pending
+  // release timer per task) plus per-stream launch/completion and per-job
+  // sync events; the slack absorbs open-loop bursts. Sizing is a hint — the
+  // pool still grows when a burst outruns it.
+  sim.reserve(config.taskset.tasks.size() * 3 +
+              static_cast<std::size_t>(fleet.size()) *
+                  static_cast<std::size_t>(sched_cfg.parallelism()) * 2 +
+              64);
+
+  // One compiled model per distinct kind, shared by every GPU and
+  // calibrated against the fleet's base spec; heterogeneous devices run the
+  // same kernels at their own scaled rate.
   std::map<dnn::ModelKind, std::unique_ptr<dnn::CompiledModel>> models;
   for (const auto& t : config.taskset.tasks) {
     if (!models.count(t.model)) {
@@ -51,38 +186,59 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     }
   }
 
-  // Offline phase 1: AFET profiling. Every GPU runs the same partitioning
-  // on the same spec, so one profile seeds all devices.
+  // Offline phase 1: AFET profiling, once per distinct resolved device
+  // spec (a homogeneous fleet profiles once; heterogeneous nodes each
+  // measure their own full-load execution times, seeding per-device MRET
+  // honestly).
   std::vector<const dnn::CompiledModel*> distinct;
   distinct.reserve(models.size());
   for (const auto& [kind, m] : models) distinct.push_back(m.get());
-  const rt::AfetResult afet = rt::profile_afet(
-      config.gpu, sched_cfg, distinct, /*jobs_per_stream=*/16, config.seed);
+  std::vector<gpusim::GpuSpec> profiled_specs;
+  std::vector<rt::AfetResult> afet_profiles;
+  std::vector<std::size_t> afet_of_gpu(
+      static_cast<std::size_t>(fleet.size()), 0);
+  for (int g = 0; g < fleet.size(); ++g) {
+    const gpusim::GpuSpec spec = fleet.node(g).resolved();
+    std::size_t slot = profiled_specs.size();
+    for (std::size_t i = 0; i < profiled_specs.size(); ++i) {
+      if (same_spec(profiled_specs[i], spec)) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == profiled_specs.size()) {
+      profiled_specs.push_back(spec);
+      afet_profiles.push_back(rt::profile_afet(
+          spec, sched_cfg, distinct, /*jobs_per_stream=*/16, config.seed));
+    }
+    afet_of_gpu[static_cast<std::size_t>(g)] = slot;
+  }
 
-  // Home-GPU assignment carries the static HP reservation (Fleet::add_task)
-  // and is the model-affinity routing target: affinity keeps each model kind
-  // on one device, every other policy stripes tasks across the fleet.
-  std::map<dnn::ModelKind, int> kind_home;
-  int next_home = 0;
+  std::vector<double> work_per_job(config.taskset.tasks.size(), 0.0);
+  for (std::size_t i = 0; i < config.taskset.tasks.size(); ++i) {
+    work_per_job[i] =
+        models.at(config.taskset.tasks[i].model)->total_work();
+  }
+  const std::vector<int> homes =
+      assign_homes(config, fleet, work_per_job);
   for (std::size_t i = 0; i < config.taskset.tasks.size(); ++i) {
     const auto& t = config.taskset.tasks[i];
-    int home;
-    if (config.routing == cluster::RoutingPolicy::kModelAffinity) {
-      auto [it, fresh] = kind_home.try_emplace(t.model, next_home);
-      if (fresh) next_home = (next_home + 1) % fleet.size();
-      home = it->second;
-    } else {
-      home = static_cast<int>(i) % fleet.size();
+    const int id = fleet.add_task(t, models.at(t.model).get(), homes[i]);
+    for (int g = 0; g < fleet.size(); ++g) {
+      const auto& afet =
+          afet_profiles[afet_of_gpu[static_cast<std::size_t>(g)]];
+      fleet.set_afet(id, g, afet.for_model(models.at(t.model).get()));
     }
-    const int id = fleet.add_task(t, models.at(t.model).get(), home);
-    fleet.set_afet(id, afet.for_model(models.at(t.model).get()));
   }
 
   // Offline phase 2: Algorithm 1 initial context assignment, per GPU.
   fleet.run_offline_phase();
 
-  cluster::Router router(fleet, config.routing, config.seed ^ 0x90C7E6ull,
-                         &collector);
+  cluster::RouterConfig router_cfg;
+  router_cfg.policy = config.routing;
+  router_cfg.spill_threshold = config.spill_threshold;
+  router_cfg.seed = config.seed ^ 0x90C7E6ull;
+  cluster::Router router(fleet, router_cfg, &collector);
   workload::ReleaseFn to_router = [&router](int id) { router.release(id); };
 
   const common::Time horizon = common::from_sec(config.duration_s);
@@ -111,6 +267,9 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   result.lp = collector.summary(common::Priority::kLow);
   result.cross_gpu_migrations = router.cross_gpu_migrations();
   result.drops = router.drops();
+  result.infeasible_rejects = router.infeasible_rejects();
+  result.transfers = router.transfers();
+  result.transferred_mb = router.transferred_mb();
   result.intra_gpu_migrations = fleet.intra_gpu_migrations();
   result.arrivals = open_loop ? open_loop->arrivals() : 0;
   result.per_gpu.resize(static_cast<std::size_t>(fleet.size()));

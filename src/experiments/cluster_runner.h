@@ -27,7 +27,17 @@ struct ClusterConfig {
   rt::SchedulerConfig sched;
   gpusim::GpuSpec gpu = gpusim::GpuSpec::rtx2080ti();
   int num_gpus = 4;
+  /// Heterogeneous fleet: one node spec per device (overrides num_gpus/gpu
+  /// when non-empty). AFET is profiled per distinct compute scale, and the
+  /// kernels stay calibrated against `gpu` — the scaled device simply runs
+  /// them faster or slower.
+  std::vector<cluster::GpuNodeSpec> nodes;
   cluster::RoutingPolicy routing = cluster::RoutingPolicy::kLeastUtilization;
+  /// Hybrid policy: home-GPU relative load at which LP jobs spill.
+  double spill_threshold = 0.75;
+  /// Cross-GPU weight-transfer cost for cold-model migrations (us per MB of
+  /// model footprint); 0 restores the zero-delay premise.
+  double transfer_us_per_mb = 80.0;
   ArrivalMode arrivals = ArrivalMode::kPeriodic;
   /// Rate multiplier for the open-loop modes (>1 drives overload).
   double rate_scale = 1.0;
@@ -52,6 +62,9 @@ struct ClusterResult {
   std::vector<GpuSummary> per_gpu;
   std::uint64_t cross_gpu_migrations = 0;
   std::uint64_t drops = 0;
+  std::uint64_t infeasible_rejects = 0;  // fleet admission controller sheds
+  std::uint64_t transfers = 0;           // cold-model weight transfers
+  double transferred_mb = 0.0;           // total weight MB shipped
   std::uint64_t intra_gpu_migrations = 0;
   std::uint64_t arrivals = 0;  // open-loop modes; 0 for periodic
   std::vector<metrics::StageEvent> stage_trace;

@@ -17,6 +17,13 @@ RunResult run_daris(const RunConfig& config) {
   sim::Simulator sim;
   gpusim::Gpu gpu(sim, config.gpu, config.seed);
 
+  // Pre-size the event pool from the task-set cardinality (one pending
+  // release timer per task) plus per-stream launch/completion and per-job
+  // sync events, so the first release burst does not grow the slab pool
+  // mid-run. Sizing is a hint; the pool still grows if outrun.
+  sim.reserve(config.taskset.tasks.size() * 3 +
+              static_cast<std::size_t>(config.sched.parallelism()) * 2 + 64);
+
   metrics::Collector collector;
   collector.set_measure_start(common::from_sec(config.warmup_s));
   collector.enable_stage_trace(config.stage_trace);

@@ -53,7 +53,7 @@ void Gpu::launch_kernel(StreamId s, const KernelDesc& desc) {
   advance_stream(s);
 }
 
-void Gpu::enqueue_callback(StreamId s, std::function<void()> fn) {
+void Gpu::enqueue_callback(StreamId s, sim::Callback fn) {
   Command cmd{Command::Kind::kCallback, {}, std::move(fn)};
   streams_[static_cast<std::size_t>(s)].queue.push_back(std::move(cmd));
   advance_stream(s);

@@ -23,7 +23,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -66,7 +65,9 @@ class Gpu {
 
   /// Enqueues a host callback; runs once all prior work on the stream is
   /// complete (models cudaLaunchHostFunc / event-driven stage completion).
-  void enqueue_callback(StreamId s, std::function<void()> fn);
+  /// Callbacks with <= sim::Callback::kInlineCapacity bytes of captures are
+  /// stored inline (no allocation), same as simulator events.
+  void enqueue_callback(StreamId s, sim::Callback fn);
 
   /// True when the stream has no queued or running work.
   bool stream_idle(StreamId s) const;
@@ -93,10 +94,19 @@ class Gpu {
   struct Command {
     enum class Kind { kKernel, kCallback } kind;
     KernelDesc kernel;
-    std::function<void()> callback;
+    sim::Callback callback;
   };
 
   struct StreamState {
+    // Move-only: the queue holds move-only Callbacks, and deque's copy ctor
+    // is unconstrained, so without the deleted copy the vector growth path
+    // would select an ill-formed copy over the (throwing) move.
+    StreamState() = default;
+    StreamState(StreamState&&) = default;
+    StreamState& operator=(StreamState&&) = default;
+    StreamState(const StreamState&) = delete;
+    StreamState& operator=(const StreamState&) = delete;
+
     ContextId ctx = 0;
     std::deque<Command> queue;
     bool busy = false;           // a kernel is launching or resident

@@ -47,6 +47,16 @@ void Collector::on_drop(int gpu) {
   ++routing_[static_cast<std::size_t>(gpu)].dropped;
 }
 
+void Collector::on_infeasible(int gpu) {
+  ++routing_[static_cast<std::size_t>(gpu)].infeasible;
+}
+
+void Collector::on_transfer(int to_gpu, double mb) {
+  auto& r = routing_[static_cast<std::size_t>(to_gpu)];
+  ++r.transfers_in;
+  r.transferred_mb += mb;
+}
+
 RoutingCounters Collector::fleet_routing() const {
   RoutingCounters total;
   for (const auto& r : routing_) total += r;

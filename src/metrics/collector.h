@@ -69,6 +69,10 @@ struct RoutingCounters {
   std::uint64_t migrated_in = 0;   // admitted here after a peer rejected them
   std::uint64_t migrated_out = 0;  // rejected here, admitted on a peer
   std::uint64_t dropped = 0;       // rejected here and by the offered peer
+  std::uint64_t infeasible = 0;    // shed by the fleet admission controller
+                                   // (charged to the task's home GPU)
+  std::uint64_t transfers_in = 0;  // cross-GPU weight transfers landing here
+  double transferred_mb = 0.0;     // MB shipped into this GPU by migrations
 
   RoutingCounters& operator+=(const RoutingCounters& o) {
     routed += o.routed;
@@ -76,6 +80,9 @@ struct RoutingCounters {
     migrated_in += o.migrated_in;
     migrated_out += o.migrated_out;
     dropped += o.dropped;
+    infeasible += o.infeasible;
+    transfers_in += o.transfers_in;
+    transferred_mb += o.transferred_mb;
     return *this;
   }
 };
@@ -103,6 +110,10 @@ class Collector {
   void on_home_admit(int gpu);
   void on_cross_migration(int from_gpu, int to_gpu);
   void on_drop(int gpu);
+  /// Fleet admission controller shed a job no device could host.
+  void on_infeasible(int gpu);
+  /// A migration shipped `mb` of model weights onto `to_gpu`.
+  void on_transfer(int to_gpu, double mb);
 
   int gpu_count() const { return static_cast<int>(routing_.size()); }
   const RoutingCounters& routing(int gpu) const {

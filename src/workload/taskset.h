@@ -39,6 +39,13 @@ TaskSetSpec mixed_taskset(std::uint64_t seed = 7);
 TaskSetSpec replicated_taskset(const TaskSetSpec& base, int copies,
                                std::uint64_t seed = 7);
 
+/// Skewed per-model demand for cluster routing studies: `gpus` GPUs' worth
+/// of aggregate demand (~876 JPS per GPU, the mixed set's operating point)
+/// with ~75% of it on ResNet18 and the rest split UNet/InceptionV3. Routing
+/// a model kind to one device (model-affinity) collapses under this shape;
+/// see docs/CLUSTER.md.
+TaskSetSpec skewed_taskset(int gpus, std::uint64_t seed = 7);
+
 /// ResNet50 task set for the Sec. VI-B comparison (sized like Table II:
 /// 150% of the 433-JPS upper baseline, 2:1 LP:HP).
 TaskSetSpec resnet50_taskset(std::uint64_t seed = 7);

@@ -154,16 +154,25 @@ TEST(CollectorRouting, PerGpuAndFleetCounters) {
   c.on_home_admit(0);
   c.on_cross_migration(/*from=*/0, /*to=*/1);
   c.on_drop(1);
+  c.on_infeasible(0);
+  c.on_transfer(/*to_gpu=*/1, /*mb=*/44.5);
+  c.on_transfer(/*to_gpu=*/1, /*mb=*/0.5);
   EXPECT_EQ(c.routing(0).routed, 2u);
   EXPECT_EQ(c.routing(0).home_admits, 1u);
   EXPECT_EQ(c.routing(0).migrated_out, 1u);
+  EXPECT_EQ(c.routing(0).infeasible, 1u);
   EXPECT_EQ(c.routing(1).migrated_in, 1u);
   EXPECT_EQ(c.routing(1).dropped, 1u);
+  EXPECT_EQ(c.routing(1).transfers_in, 2u);
+  EXPECT_DOUBLE_EQ(c.routing(1).transferred_mb, 45.0);
   const RoutingCounters fleet = c.fleet_routing();
   EXPECT_EQ(fleet.routed, 3u);
   EXPECT_EQ(fleet.migrated_in, 1u);
   EXPECT_EQ(fleet.migrated_out, 1u);
   EXPECT_EQ(fleet.dropped, 1u);
+  EXPECT_EQ(fleet.infeasible, 1u);
+  EXPECT_EQ(fleet.transfers_in, 2u);
+  EXPECT_DOUBLE_EQ(fleet.transferred_mb, 45.0);
 }
 
 TEST(CollectorJobTrace, GatedByFlag) {

@@ -87,6 +87,43 @@ TEST(SimulatorAlloc, RescheduleDoesNotAllocate) {
   EXPECT_GT(sink, 0u);
 }
 
+// The Clockwork baseline packs its per-job completion state behind one
+// pointer: the callback captures {server*, deadline, priority} (~24 bytes;
+// see src/baselines/clockwork_server.cpp, which static_asserts the real
+// lambda). This pins that shape to the inline path, so a burst of packed
+// completions allocates nothing once the pool is warm.
+TEST(SimulatorAlloc, ClockworkShapedCaptureStaysInline) {
+  struct ServerState {
+    std::uint64_t completed = 0;
+    std::int64_t last_deadline = 0;
+    int last_priority = 0;
+  };
+  ServerState state;
+  Simulator sim;
+  auto burst = [&sim, &state] {
+    for (int i = 0; i < kBurst; ++i) {
+      const std::int64_t deadline = i + 1;
+      const int priority = i & 1;
+      auto cb = [srv = &state, deadline, priority] {
+        ++srv->completed;
+        srv->last_deadline = deadline;
+        srv->last_priority = priority;
+      };
+      static_assert(sizeof(cb) <= Callback::kInlineCapacity,
+                    "packed completion context must fit inline");
+      sim.schedule_after(i + 1, std::move(cb));
+    }
+    sim.run();
+  };
+  burst();  // warm-up sizes the pool
+  const std::size_t before = g_allocations;
+  burst();
+  const std::size_t after = g_allocations;
+  EXPECT_EQ(after - before, 0u)
+      << "a packed <=48-byte completion context must not allocate";
+  EXPECT_EQ(state.completed, 2u * kBurst);
+}
+
 TEST(SimulatorAlloc, OversizedCapturesFallBackToTheHeap) {
   Simulator sim;
   std::uint64_t sink = 0;
