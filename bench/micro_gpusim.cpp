@@ -105,6 +105,41 @@ void BM_EventQueueReschedule(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events * kRounds);
 }
 
+/// Bursty co-launch: every period, one kernel per stream is injected at the
+/// same simulator tick across many contexts, so the launch-done events (and
+/// later the symmetric completions) arrive in same-timestamp bursts — the
+/// shape the allocator's dirty-flag solve coalesces at the data level
+/// (settle guard, per-context water-fill reuse, cached penalty factors).
+/// Args: {contexts, bursts}.
+void BM_GpuBurstyColaunch(benchmark::State& state) {
+  const int contexts = static_cast<int>(state.range(0));
+  const int bursts = static_cast<int>(state.range(1));
+  const gpusim::GpuSpec spec = gpusim::GpuSpec::rtx2080ti();
+  for (auto _ : state) {
+    sim::Simulator sim;
+    gpusim::Gpu gpu(sim, spec);
+    const auto quotas = gpusim::partition_quotas(spec, contexts, contexts);
+    std::vector<gpusim::StreamId> streams;
+    for (int c = 0; c < contexts; ++c) {
+      streams.push_back(
+          gpu.create_stream(gpu.create_context(quotas[static_cast<std::size_t>(c)])));
+    }
+    gpusim::KernelDesc k;
+    k.work = 150.0;
+    k.parallelism = 40.0;
+    for (int b = 0; b < bursts; ++b) {
+      sim.schedule_at(static_cast<common::Time>(b) * common::from_us(500.0),
+                      [&gpu, &streams, &k] {
+                        for (const auto s : streams) gpu.launch_kernel(s, k);
+                      });
+    }
+    sim.run();
+    state.counters["kernels"] = static_cast<double>(gpu.kernels_completed());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(bursts) *
+                          static_cast<long>(contexts));
+}
+
 /// Fleet-scale event volume: an N-GPU cluster under open-loop Poisson
 /// arrivals, the shape that multiplies completion-event churn by the fleet
 /// size. Measures simulated jobs completed per wall second.
@@ -137,6 +172,11 @@ BENCHMARK(BM_GpuFluidExecutor)
     ->Args({6, 1})
     ->Args({3, 3})
     ->Args({10, 1})
+    ->Args({32, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GpuBurstyColaunch)
+    ->Args({8, 200})
+    ->Args({32, 100})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(100000);

@@ -55,7 +55,7 @@ int Fleet::add_task(const rt::TaskSpec& spec, const dnn::CompiledModel* model,
   int id = -1;
   for (int g = 0; g < size(); ++g) {
     id = scheduler(g).add_task(spec, model);
-    scheduler(g).task(id).resident = (g == home_gpu);
+    scheduler(g).set_task_resident(id, g == home_gpu);
   }
   home_.push_back(home_gpu);
   model_of_task_.push_back(model);

@@ -52,10 +52,10 @@ void Scheduler::run_offline_phase() {
   std::vector<double> ctx_util(contexts_.size(), 0.0);
   auto assign_all = [&](Priority p, bool resident) {
     for (auto& t : tasks_) {
-      if (t->spec().priority != p || t->resident != resident) continue;
+      if (t->spec().priority != p || t->resident() != resident) continue;
       const auto it = std::min_element(ctx_util.begin(), ctx_util.end());
       const int ctx = static_cast<int>(it - ctx_util.begin());
-      t->set_context(ctx);
+      set_task_context(t->id(), ctx);
       ctx_util[static_cast<std::size_t>(ctx)] += t->utilization();
     }
   };
@@ -65,13 +65,52 @@ void Scheduler::run_offline_phase() {
   assign_all(Priority::kLow, /*resident=*/false);
 }
 
+void Scheduler::hp_member_remove(const Task& t) {
+  if (t.context() < 0 || !t.resident() ||
+      t.spec().priority != Priority::kHigh) {
+    return;
+  }
+  auto& members =
+      contexts_[static_cast<std::size_t>(t.context())].resident_hp;
+  const auto it = std::lower_bound(members.begin(), members.end(), t.id());
+  assert(it != members.end() && *it == t.id());
+  members.erase(it);
+}
+
+void Scheduler::hp_member_add(const Task& t) {
+  if (t.context() < 0 || !t.resident() ||
+      t.spec().priority != Priority::kHigh) {
+    return;
+  }
+  auto& members =
+      contexts_[static_cast<std::size_t>(t.context())].resident_hp;
+  members.insert(std::lower_bound(members.begin(), members.end(), t.id()),
+                 t.id());
+}
+
+void Scheduler::set_task_context(int task_id, int ctx) {
+  Task& t = task(task_id);
+  if (t.context_ == ctx) return;
+  hp_member_remove(t);
+  t.context_ = ctx;
+  hp_member_add(t);
+}
+
+void Scheduler::set_task_resident(int task_id, bool resident) {
+  Task& t = task(task_id);
+  if (t.resident_ == resident) return;
+  hp_member_remove(t);
+  t.resident_ = resident;
+  hp_member_add(t);
+}
+
 double Scheduler::hp_utilization(int ctx) const {
+  // Fold over the cached membership in ascending id order — the same visit
+  // order (and therefore the same floating-point sum) as the historical
+  // scan over every task, at O(members) per call.
   double u = 0.0;
-  for (const auto& t : tasks_) {
-    if (t->resident && t->spec().priority == Priority::kHigh &&
-        t->context() == ctx) {
-      u += t->utilization();
-    }
+  for (const int id : contexts_[static_cast<std::size_t>(ctx)].resident_hp) {
+    u += task(id).utilization();
   }
   return u;
 }
@@ -132,7 +171,7 @@ bool Scheduler::release_job(int task_id, bool report, Time released_at) {
   if (report && collector_) collector_->on_release(ev);
 
   // Late assignment for tasks added after the offline phase.
-  if (t.context() < 0) t.set_context(0);
+  if (t.context() < 0) set_task_context(task_id, 0);
 
   // Backlog guard: with D = T, a queued job behind an unfinished
   // predecessor is all but doomed. LP jobs are shed as soon as their
@@ -173,7 +212,7 @@ bool Scheduler::release_job(int task_id, bool report, Time released_at) {
         return false;
       }
       ++migrations_;
-      t.set_context(best);  // ctx_i(t) moves with the task (zero-delay)
+      set_task_context(task_id, best);  // ctx_i(t) moves with the task
       target_ctx = best;
     } else {
       if (report && collector_) collector_->on_reject(ev);
@@ -214,7 +253,9 @@ void Scheduler::admit(Task& t, int ctx, std::unique_ptr<JobRuntime> jr) {
     rec.active_lp_util += jr->job.admitted_utilization;
   } else {
     rec.active_hp_util += jr->job.admitted_utilization;
-    if (!t.resident) rec.migrated_hp_util += jr->job.admitted_utilization;
+    if (!t.resident()) {
+      rec.migrated_hp_util += jr->job.admitted_utilization;
+    }
   }
   rec.outstanding_work_us += t.mret().total_mret_us();
   ++t.active_jobs;
@@ -422,7 +463,7 @@ void Scheduler::finish_job(JobRuntime& jr) {
   } else {
     rec.active_hp_util =
         std::max(0.0, rec.active_hp_util - job.admitted_utilization);
-    if (!t.resident) {
+    if (!t.resident()) {
       rec.migrated_hp_util =
           std::max(0.0, rec.migrated_hp_util - job.admitted_utilization);
     }

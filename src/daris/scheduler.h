@@ -65,6 +65,16 @@ class Scheduler {
   int task_count() const { return static_cast<int>(tasks_.size()); }
   int num_contexts() const { return static_cast<int>(contexts_.size()); }
 
+  /// Moves a task to a context, keeping the per-context resident-HP
+  /// membership (the cached Eq. 4 aggregate) coherent. All placement
+  /// changes — offline assignment, late assignment, LP migration, external
+  /// pinning in tests — go through here.
+  void set_task_context(int task_id, int ctx);
+
+  /// Marks/unmarks this scheduler as the task's home device (cluster mode),
+  /// with the same membership bookkeeping as set_task_context.
+  void set_task_resident(int task_id, bool resident);
+
   /// Total HP utilisation U^{h,t}_k(t) of a context (Eq. 4), counting only
   /// resident tasks (see Task::resident).
   double hp_utilization(int ctx) const;
@@ -98,6 +108,14 @@ class Scheduler {
     std::vector<gpusim::StreamId> streams;
     std::vector<bool> stream_busy;
     StageQueue ready;
+    /// Resident HP task ids assigned here, ascending — the membership behind
+    /// hp_utilization(). Kept sorted so the on-demand fold visits tasks in
+    /// exactly the order the historical all-task scan did (id order), which
+    /// keeps the Eq. 4 sum bit-identical while costing O(members) instead of
+    /// O(all tasks) per admission test. A running double would drift (MRET
+    /// updates move each member's utilisation every stage completion) and
+    /// change admission decisions at the boundary.
+    std::vector<int> resident_hp;
     double active_lp_util = 0.0;
     double active_hp_util = 0.0;  // used by the Overload+HPA admission test
     /// Active utilisation of non-resident HP jobs (cluster mode: HP work
@@ -116,6 +134,10 @@ class Scheduler {
 
   void admit(Task& task, int ctx, std::unique_ptr<JobRuntime> jr);
   bool passes_admission(const Task& task, int ctx, double util) const;
+  /// Membership maintenance around a placement-field change: call remove
+  /// before mutating the task's context/resident, add after.
+  void hp_member_remove(const Task& t);
+  void hp_member_add(const Task& t);
   /// Predicted completion of the context's backlog (migration tie-break).
   double predicted_backlog_us(int ctx) const;
 

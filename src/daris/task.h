@@ -72,9 +72,10 @@ class Task {
            common::to_us(spec_.period > 0 ? spec_.period : 1);
   }
 
-  /// Current context assignment ctx_i(t).
+  /// Current context assignment ctx_i(t). Mutations go through
+  /// Scheduler::set_task_context so the scheduler's per-context resident-HP
+  /// membership (the Eq. 4 aggregate) stays coherent.
   int context() const { return context_; }
-  void set_context(int ctx) { context_ = ctx; }
 
   /// Number of this task's jobs currently admitted but unfinished.
   int active_jobs = 0;
@@ -82,15 +83,19 @@ class Task {
   /// Whether this scheduler is the task's home device. In a cluster the task
   /// is registered on every GPU (so migrated jobs can run anywhere) but its
   /// static HP reservation (Eq. 4 term of Eq. 11) is charged only on the home
-  /// GPU; single-GPU runs leave this true everywhere.
-  bool resident = true;
+  /// GPU; single-GPU runs leave this true everywhere. Mutations go through
+  /// Scheduler::set_task_resident (membership coherence, as above).
+  bool resident() const { return resident_; }
 
  private:
+  friend class Scheduler;  // placement fields feed its cached aggregates
+
   int id_;
   TaskSpec spec_;
   const dnn::CompiledModel* model_;
   MretEstimator mret_;
   int context_ = -1;
+  bool resident_ = true;
 };
 
 }  // namespace daris::rt

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <numeric>
 
 namespace daris::gpusim {
 
@@ -13,21 +12,34 @@ constexpr double kRateTolerance = 1e-9;
 }  // namespace
 
 Gpu::Gpu(sim::Simulator& sim, GpuSpec spec, std::uint64_t seed)
-    : sim_(sim), spec_(spec), rng_(seed) {}
+    : sim_(sim),
+      spec_(spec),
+      rng_(seed),
+      jitter_rho_(std::clamp(spec_.jitter_rho, 0.0, 0.999)),
+      jitter_innovation_scale_(std::sqrt(1.0 - jitter_rho_ * jitter_rho_)) {}
+
+double Gpu::context_eff_quota(double quota) const {
+  return 1.0 -
+         spec_.quota_penalty_a * std::exp(-quota / spec_.quota_penalty_q0);
+}
 
 ContextId Gpu::create_context(double sm_quota) {
   assert(sm_quota > 0.0);
   ContextState state;
   state.quota = sm_quota;
+  state.eff_quota = context_eff_quota(sm_quota);
   contexts_.push_back(std::move(state));
   return static_cast<ContextId>(contexts_.size()) - 1;
 }
 
 void Gpu::set_context_quota(ContextId ctx, double sm_quota) {
   assert(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));
-  contexts_[static_cast<std::size_t>(ctx)].quota = sm_quota;
-  settle_progress();
-  recompute_rates();
+  auto& cs = contexts_[static_cast<std::size_t>(ctx)];
+  if (cs.quota == sm_quota) return;  // no-op: nothing to settle or re-solve
+  cs.quota = sm_quota;
+  cs.eff_quota = context_eff_quota(sm_quota);
+  mark_context_dirty(ctx);
+  flush_rates();
 }
 
 double Gpu::context_quota(ContextId ctx) const {
@@ -70,7 +82,8 @@ std::size_t Gpu::stream_depth(StreamId s) const {
 }
 
 int Gpu::active_kernels(ContextId ctx) const {
-  return contexts_[static_cast<std::size_t>(ctx)].active;
+  return static_cast<int>(
+      contexts_[static_cast<std::size_t>(ctx)].members.size());
 }
 
 void Gpu::advance_stream(StreamId s) {
@@ -106,6 +119,16 @@ void Gpu::begin_launch(StreamId s) {
                       [this, s, gen] { on_launch_done(s, gen); });
 }
 
+int Gpu::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const int slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<int>(slots_.size()) - 1;
+}
+
 void Gpu::on_launch_done(StreamId s, std::uint64_t gen) {
   auto& st = streams_[static_cast<std::size_t>(s)];
   if (st.gen != gen) return;  // stale
@@ -129,53 +152,123 @@ void Gpu::on_launch_done(StreamId s, std::uint64_t gen) {
   if (spec_.jitter_cv > 0.0) {
     const double cv =
         spec_.jitter_cv *
-        (1.0 + spec_.jitter_load_slope * static_cast<double>(active_.size()));
-    const double rho = std::clamp(spec_.jitter_rho, 0.0, 0.999);
+        (1.0 + spec_.jitter_load_slope * static_cast<double>(order_.size()));
     const double innovation =
-        rng_.normal(0.0, cv * std::sqrt(1.0 - rho * rho));
-    st.jitter_dev = rho * st.jitter_dev + innovation;
+        rng_.normal(0.0, cv * jitter_innovation_scale_);
+    st.jitter_dev = jitter_rho_ * st.jitter_dev + innovation;
     jitter = std::max(0.5, 1.0 + st.jitter_dev);
   }
 
-  settle_progress();
-  ActiveKernel ak;
+  // Residency state updates eagerly; progress needs no settling here —
+  // rates are unchanged until the solve below, which settles first (and
+  // the new kernel starts with none).
+  const int slot = acquire_slot();
+  ActiveKernel& ak = slots_[static_cast<std::size_t>(slot)];
   ak.stream = s;
   ak.ctx = st.ctx;
   ak.parallelism = std::max(1.0, desc.parallelism);
   ak.mem_intensity = std::max(0.0, desc.mem_intensity);
   ak.remaining = std::max(kEpsilonWork, desc.work * jitter);
+  ak.rate = 0.0;
   ak.last_update = sim_.now();
-  ak.gen = gen;
-  active_.push_back(std::move(ak));
-  contexts_[static_cast<std::size_t>(st.ctx)].active++;
-  recompute_rates();
+  ak.fire_time = common::kTimeInfinity;
+  ak.vseq = 0;
+  order_.push_back(slot);
+
+  // Insert into the context bucket keeping (parallelism, arrival) order —
+  // the per-context order the historical global sort produced. Linear from
+  // the tail: buckets are small and arrivals often near-sorted.
+  auto& members = ctx_state.members;
+  std::size_t pos = members.size();
+  while (pos > 0 &&
+         slots_[static_cast<std::size_t>(members[pos - 1])].parallelism >
+             ak.parallelism) {
+    --pos;
+  }
+  members.insert(members.begin() + static_cast<std::ptrdiff_t>(pos), slot);
+  ak.bucket_pos = static_cast<int>(pos);
+  for (std::size_t i = pos + 1; i < members.size(); ++i) {
+    slots_[static_cast<std::size_t>(members[i])].bucket_pos =
+        static_cast<int>(i);
+  }
+
+  mark_context_dirty(st.ctx);
+  flush_rates();
 }
 
-void Gpu::on_kernel_complete(StreamId s, std::uint64_t gen) {
-  // Find the active kernel for this stream/generation.
-  auto it = std::find_if(active_.begin(), active_.end(),
-                         [s, gen](const ActiveKernel& k) {
-                           return k.stream == s && k.gen == gen;
-                         });
-  if (it == active_.end()) return;  // cancelled/stale
+void Gpu::on_completion_event() {
+  // The single mirrored event fired: the armed head names the due kernel's
+  // slot directly — O(1), replacing the historical scan of the resident set
+  // for the (stream, generation) match.
+  const int slot = armed_slot_;
+  armed_slot_ = -1;
+  completion_event_ = sim::EventHandle{};  // consumed by firing
+  if (slot < 0) return;  // defensive: disarmed concurrently
+  complete_kernel(slot);
+}
 
-  settle_progress();
+void Gpu::complete_kernel(int slot) {
+  ActiveKernel& ak = slots_[static_cast<std::size_t>(slot)];
+  // Settle before removal so the finished kernel's busy contribution over
+  // its final interval is folded into the integral (skipped when an earlier
+  // same-tick event already settled everything; see flush_rates).
+  if (busy_last_update_ != sim_.now()) settle_progress();
   // Floating-point residue is expected; anything material is a logic error.
-  assert(it->remaining < 1.0 && "kernel completed with work left");
-  contexts_[static_cast<std::size_t>(it->ctx)].active--;
-  active_.erase(it);
+  assert(ak.remaining < 1.0 && "kernel completed with work left");
+  const ContextId ctx = ak.ctx;
+  const StreamId s = ak.stream;
+
+  auto& members = contexts_[static_cast<std::size_t>(ctx)].members;
+  const std::size_t pos = static_cast<std::size_t>(ak.bucket_pos);
+  members.erase(members.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (std::size_t i = pos; i < members.size(); ++i) {
+    slots_[static_cast<std::size_t>(members[i])].bucket_pos =
+        static_cast<int>(i);
+  }
+  order_.erase(std::find(order_.begin(), order_.end(), slot));
+  ak.fire_time = common::kTimeInfinity;
+  ak.bucket_pos = -1;
+  free_slots_.push_back(slot);
   ++kernels_completed_;
 
-  auto& st = streams_[static_cast<std::size_t>(s)];
-  st.busy = false;
-  recompute_rates();
+  streams_[static_cast<std::size_t>(s)].busy = false;
+  mark_context_dirty(ctx);
+  flush_rates();  // before advance_stream: the solver position the
+                  // historical code re-solved at (tie-break parity)
   advance_stream(s);
+}
+
+void Gpu::arm_completion_event(int best) {
+  if (best < 0) {
+    if (completion_event_.valid()) {
+      sim_.cancel(completion_event_);
+      completion_event_ = sim::EventHandle{};
+    }
+    armed_slot_ = -1;
+    return;
+  }
+  const auto& bk = slots_[static_cast<std::size_t>(best)];
+  if (armed_slot_ == best && completion_event_.valid() &&
+      armed_time_ == bk.fire_time && armed_seq_ == bk.vseq) {
+    return;  // head unchanged: the mirrored event is already correct
+  }
+  // Mirror with the kernel's exact key so ties against unrelated simulator
+  // events break as if this completion had sat in the heap all along.
+  if (!sim_.reschedule_with_sequence(completion_event_, bk.fire_time,
+                                     bk.vseq)) {
+    completion_event_ = sim_.schedule_at_with_sequence(
+        bk.fire_time, bk.vseq, [this] { on_completion_event(); });
+  }
+  armed_slot_ = best;
+  armed_time_ = bk.fire_time;
+  armed_seq_ = bk.vseq;
 }
 
 void Gpu::settle_progress() {
   const Time now = sim_.now();
   double busy = 0.0;
-  for (auto& k : active_) {
+  for (const int slot : order_) {
+    auto& k = slots_[static_cast<std::size_t>(slot)];
     const double dt_us = common::to_us(now - k.last_update);
     if (dt_us > 0.0) {
       k.remaining = std::max(0.0, k.remaining - k.rate * dt_us);
@@ -197,50 +290,55 @@ double Gpu::quantized_rate(double parallelism, double share) const {
   return parallelism / waves;
 }
 
-void Gpu::recompute_rates() {
-  if (active_.empty()) return;
+void Gpu::mark_context_dirty(ContextId ctx) {
+  contexts_[static_cast<std::size_t>(ctx)].dirty = true;
+}
+
+void Gpu::flush_rates() {
   const Time now = sim_.now();
+  // Progress must be settled under the *old* rates before any rate changes.
+  // busy_last_update_ only moves in settle_progress(), and kernels added
+  // since start settled (last_update = add time), so equality means every
+  // resident kernel is already settled to this tick (the completion handler
+  // settles eagerly; launch-only ticks still need the settle).
+  if (busy_last_update_ != now) settle_progress();
 
-  // 1. Water-fill each context's quota among its resident kernels.
-  //    Process kernels grouped by context; within a context, ascending
-  //    parallelism gets its full demand first (max-min fairness).
-  std::vector<std::size_t>& order = wf_order_;
-  order.resize(active_.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
-    if (active_[a].ctx != active_[b].ctx) return active_[a].ctx < active_[b].ctx;
-    if (active_[a].parallelism != active_[b].parallelism)
-      return active_[a].parallelism < active_[b].parallelism;
-    return a < b;
-  });
-
-  std::vector<double>& share = wf_share_;
-  share.assign(active_.size(), 0.0);
-  std::size_t i = 0;
+  // 1. Water-fill each dirty context's quota among its resident kernels;
+  //    clean contexts keep their cached shares (bit-identical by
+  //    determinism: same bucket + quota reproduce the same fill). Within a
+  //    context, ascending parallelism gets its full demand first (max-min
+  //    fairness). The global allocation total folds in the same pass; its
+  //    summation order — (context asc, fill order), like every global fold
+  //    below (pressure and bandwidth use arrival order) — intentionally
+  //    replicates the historical from-scratch solver, so the rates come out
+  //    bit-identical to it.
   double total_alloc = 0.0;
-  while (i < order.size()) {
-    const ContextId ctx = active_[order[i]].ctx;
-    std::size_t j = i;
-    while (j < order.size() && active_[order[j]].ctx == ctx) ++j;
-    double quota = contexts_[static_cast<std::size_t>(ctx)].quota;
-    std::size_t left = j - i;
-    for (std::size_t k = i; k < j; ++k) {
-      const double fair = quota / static_cast<double>(left);
-      const double alloc = std::min(active_[order[k]].parallelism, fair);
-      share[order[k]] = alloc;
-      quota -= alloc;
-      --left;
+  for (auto& cs : contexts_) {
+    if (cs.dirty) {
+      cs.shares.resize(cs.members.size());
+      double quota = cs.quota;
+      std::size_t left = cs.members.size();
+      for (std::size_t i = 0; i < cs.members.size(); ++i) {
+        const double fair = quota / static_cast<double>(left);
+        const double alloc = std::min(
+            slots_[static_cast<std::size_t>(cs.members[i])].parallelism, fair);
+        cs.shares[i] = alloc;
+        quota -= alloc;
+        --left;
+      }
+      const auto active = static_cast<double>(cs.members.size());
+      cs.eff_intra =
+          1.0 / (1.0 + spec_.alpha_intra *
+                           std::min(active - 1.0, spec_.intra_saturation));
+      cs.dirty = false;
     }
-    for (std::size_t k = i; k < j; ++k) total_alloc += share[order[k]];
-    i = j;
+    for (const double s : cs.shares) total_alloc += s;
   }
 
   // 2. Oversubscription: rescale when allocations exceed physical SMs.
   const double sm = static_cast<double>(spec_.sm_count);
-  if (total_alloc > sm) {
-    const double scale = sm / total_alloc;
-    for (auto& s : share) s *= scale;
-  }
+  const bool rescale = total_alloc > sm;
+  const double scale = rescale ? sm / total_alloc : 1.0;
 
   // Global L2-contention penalty grows with resident-block pressure: the
   // blocks all resident kernels *could* run concurrently, regardless of
@@ -248,27 +346,25 @@ void Gpu::recompute_rates() {
   // many-stream context thrashes the same caches as many one-stream
   // contexts.
   double pressure = 0.0;
-  for (const auto& ak : active_) pressure += std::min(ak.parallelism, sm);
+  for (const int slot : order_) {
+    pressure +=
+        std::min(slots_[static_cast<std::size_t>(slot)].parallelism, sm);
+  }
   const double excess = std::max(0.0, pressure / sm - 1.0);
   const double eff_os = 1.0 / (1.0 + spec_.kappa_oversub * excess);
 
   // 3/4. Per-kernel rate with wave quantisation, the small-slice penalty,
-  // and the intra-context multi-stream penalty.
+  // and the intra-context multi-stream penalty (both cached per context).
   std::vector<double>& raw = wf_raw_;
-  raw.assign(active_.size(), 0.0);
+  raw.resize(order_.size());
   double bw_demand = 0.0;
-  for (std::size_t k = 0; k < active_.size(); ++k) {
-    const auto& ak = active_[k];
-    const auto& ctx = contexts_[static_cast<std::size_t>(ak.ctx)];
-    const double eff_intra =
-        1.0 / (1.0 + spec_.alpha_intra *
-                         std::min(static_cast<double>(ctx.active - 1),
-                                  spec_.intra_saturation));
-    const double eff_quota =
-        1.0 - spec_.quota_penalty_a *
-                  std::exp(-ctx.quota / spec_.quota_penalty_q0);
-    raw[k] = quantized_rate(ak.parallelism, share[k]) * eff_intra * eff_os *
-             eff_quota;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    const auto& ak = slots_[static_cast<std::size_t>(order_[k])];
+    const auto& cs = contexts_[static_cast<std::size_t>(ak.ctx)];
+    double share = cs.shares[static_cast<std::size_t>(ak.bucket_pos)];
+    if (rescale) share *= scale;
+    raw[k] = quantized_rate(ak.parallelism, share) * cs.eff_intra * eff_os *
+             cs.eff_quota;
     bw_demand += raw[k] * ak.mem_intensity;
   }
 
@@ -276,36 +372,70 @@ void Gpu::recompute_rates() {
   const double phi =
       bw_demand > spec_.mem_bandwidth ? spec_.mem_bandwidth / bw_demand : 1.0;
 
-  for (std::size_t k = 0; k < active_.size(); ++k) {
-    auto& ak = active_[k];
+  // The queue head (earliest (fire_time, vseq); vseq uniqueness makes the
+  // order total and the scan order-independent) folds in the same pass.
+  int best = -1;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    const int slot = order_[k];
+    auto& ak = slots_[static_cast<std::size_t>(slot)];
     const double new_rate = raw[k] * phi;
     const bool changed = std::abs(new_rate - ak.rate) > kRateTolerance ||
-                         !ak.completion.valid();
-    if (!changed) continue;
-    ak.rate = new_rate;
-    ak.last_update = now;
-    if (ak.rate <= 0.0) {
-      sim_.cancel(ak.completion);
-      ak.completion = sim::EventHandle{};
+                         ak.fire_time == common::kTimeInfinity;
+    if (changed) {
+      ak.rate = new_rate;
+      ak.last_update = now;
+      if (ak.rate <= 0.0) {
+        ak.fire_time = common::kTimeInfinity;  // starved: nothing pending
+      } else {
+        // +1 tick: settle past the epsilon. The drawn tie-break number is
+        // what a direct (re)schedule would have consumed, so ties against
+        // unrelated events are preserved; only the mirrored head event
+        // below touches the heap.
+        ak.fire_time = now + common::from_us(ak.remaining / ak.rate) + 1;
+        ak.vseq = sim_.draw_sequence();
+      }
+    }
+    if (ak.fire_time == common::kTimeInfinity) continue;
+    if (best < 0) {
+      best = slot;
       continue;
     }
-    // +1 tick: settle past the epsilon. Rate changes move the pending
-    // completion in place; only a kernel's first allocation schedules anew.
-    const common::Duration finish =
-        common::from_us(ak.remaining / ak.rate) + 1;
-    if (!sim_.reschedule_after(ak.completion, finish)) {
-      const StreamId s = ak.stream;
-      const std::uint64_t gen = ak.gen;
-      ak.completion = sim_.schedule_after(
-          finish, [this, s, gen] { on_kernel_complete(s, gen); });
+    const auto& bk = slots_[static_cast<std::size_t>(best)];
+    if (ak.fire_time < bk.fire_time ||
+        (ak.fire_time == bk.fire_time && ak.vseq < bk.vseq)) {
+      best = slot;
     }
   }
+  arm_completion_event(best);
+}
+
+std::vector<Gpu::ActiveKernelInfo> Gpu::debug_active_kernels() const {
+  const Time now = sim_.now();
+  std::vector<ActiveKernelInfo> infos;
+  infos.reserve(order_.size());
+  for (const int slot : order_) {
+    const auto& ak = slots_[static_cast<std::size_t>(slot)];
+    ActiveKernelInfo info;
+    info.stream = ak.stream;
+    info.ctx = ak.ctx;
+    info.parallelism = ak.parallelism;
+    info.mem_intensity = ak.mem_intensity;
+    // Remaining as of now, computed on the fly: mutating the stored settle
+    // state from an observer would split a future settle interval and (FP
+    // addition being non-associative) could nudge the byte-stable timeline.
+    info.remaining = std::max(
+        0.0, ak.remaining - ak.rate * common::to_us(now - ak.last_update));
+    info.rate = ak.rate;
+    infos.push_back(info);
+  }
+  return infos;
 }
 
 double Gpu::busy_sm_integral() const {
   double busy = busy_integral_;
   const Time now = sim_.now();
-  for (const auto& k : active_) {
+  for (const int slot : order_) {
+    const auto& k = slots_[static_cast<std::size_t>(slot)];
     busy += k.rate * static_cast<double>(now - k.last_update);
   }
   return busy;

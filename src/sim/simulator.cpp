@@ -87,11 +87,7 @@ void Simulator::heap_remove(std::size_t pos) {
 }
 
 EventHandle Simulator::schedule_at(Time when, Callback cb) {
-  if (when < now_) when = now_;  // clamp: past events fire on the current tick
-  const std::uint32_t slot = acquire_node();
-  node(slot).cb = std::move(cb);
-  heap_push(HeapEntry{when, next_seq_++, slot});
-  return handle_for(slot);
+  return schedule_at_with_sequence(when, next_seq_++, std::move(cb));
 }
 
 EventHandle Simulator::schedule_after(Duration delay, Callback cb) {
@@ -109,13 +105,9 @@ void Simulator::cancel(EventHandle handle) {
   // here the cancel only undoes a reschedule() made during that callback.
 }
 
-bool Simulator::reschedule(EventHandle handle, Time when) {
-  const std::uint32_t slot = decode(handle);
-  if (slot == kNpos) return false;
-  const std::uint32_t pos = pos_[slot];
-  if (pos == kNpos && node(slot).firing_depth == 0) return false;
+void Simulator::reschedule_resolved(std::uint32_t slot, std::uint32_t pos,
+                                    Time when, std::uint64_t seq) {
   if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;  // same slot a cancel+schedule gets
   if (pos != kNpos) {
     heap_[pos].when = when;
     heap_[pos].seq = seq;
@@ -123,11 +115,39 @@ bool Simulator::reschedule(EventHandle handle, Time when) {
   } else {
     heap_push(HeapEntry{when, seq, slot});  // re-arm from the event's callback
   }
+}
+
+bool Simulator::reschedule(EventHandle handle, Time when) {
+  const std::uint32_t slot = decode(handle);
+  if (slot == kNpos) return false;
+  const std::uint32_t pos = pos_[slot];
+  if (pos == kNpos && node(slot).firing_depth == 0) return false;
+  // Drawn only once validity is established, same slot a cancel+schedule gets.
+  reschedule_resolved(slot, pos, when, next_seq_++);
   return true;
 }
 
 bool Simulator::reschedule_after(EventHandle handle, Duration delay) {
   return reschedule(handle, now_ + (delay < 0 ? 0 : delay));
+}
+
+EventHandle Simulator::schedule_at_with_sequence(Time when, std::uint64_t seq,
+                                                 Callback cb) {
+  if (when < now_) when = now_;  // clamp: past events fire on the current tick
+  const std::uint32_t slot = acquire_node();
+  node(slot).cb = std::move(cb);
+  heap_push(HeapEntry{when, seq, slot});
+  return handle_for(slot);
+}
+
+bool Simulator::reschedule_with_sequence(EventHandle handle, Time when,
+                                         std::uint64_t seq) {
+  const std::uint32_t slot = decode(handle);
+  if (slot == kNpos) return false;
+  const std::uint32_t pos = pos_[slot];
+  if (pos == kNpos && node(slot).firing_depth == 0) return false;
+  reschedule_resolved(slot, pos, when, seq);
+  return true;
 }
 
 void Simulator::fire_top() {

@@ -80,6 +80,27 @@ class Simulator {
   /// reschedule() at `delay` after now (negative delays clamp to 0).
   bool reschedule_after(EventHandle handle, Duration delay);
 
+  /// Draws the next tie-break sequence number without scheduling anything.
+  /// Support for two-level queues: a client that keeps many logical timers
+  /// in its own ordered index and mirrors only the earliest into the
+  /// simulator draws one number per logical (re)arm — exactly what a direct
+  /// schedule/reschedule would have drawn — and later schedules its head
+  /// event with that number, so ties against unrelated events break as if
+  /// every logical timer sat in this queue individually. Each drawn number
+  /// must be used for at most one pending event at a time.
+  std::uint64_t draw_sequence() { return next_seq_++; }
+
+  /// schedule_at() with an explicit tie-break number previously obtained
+  /// from draw_sequence() (see there for the two-level-queue contract).
+  EventHandle schedule_at_with_sequence(Time when, std::uint64_t seq,
+                                        Callback cb);
+
+  /// reschedule() with an explicit tie-break number previously obtained
+  /// from draw_sequence(). Returns false — and does nothing — when the
+  /// handle is stale or invalid.
+  bool reschedule_with_sequence(EventHandle handle, Time when,
+                                std::uint64_t seq);
+
   /// Runs until the queue is empty or `deadline` is reached. Events exactly
   /// at `deadline` are executed. Returns the number of events executed.
   std::size_t run_until(Time deadline);
@@ -139,6 +160,11 @@ class Simulator {
 
   std::uint32_t acquire_node();
   void release_node(std::uint32_t slot);
+
+  /// Shared tail of reschedule/reschedule_with_sequence once the handle is
+  /// decoded and validated: clamp, re-key, sift (or re-arm a firing node).
+  void reschedule_resolved(std::uint32_t slot, std::uint32_t pos, Time when,
+                           std::uint64_t seq);
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.when != b.when) return a.when < b.when;

@@ -397,8 +397,8 @@ TEST(Router, PlacementScoreNormalisesLoadByComputeScale) {
 TEST(Fleet, ResidencyOnlyOnHomeGpu) {
   Harness h(2);
   const int a = h.add_task(Priority::kHigh, 3000.0, 1);
-  EXPECT_FALSE(h.fleet->scheduler(0).task(a).resident);
-  EXPECT_TRUE(h.fleet->scheduler(1).task(a).resident);
+  EXPECT_FALSE(h.fleet->scheduler(0).task(a).resident());
+  EXPECT_TRUE(h.fleet->scheduler(1).task(a).resident());
   // The HP reservation (Eq. 4) is charged only where the task is resident.
   h.fleet->run_offline_phase();
   double hp0 = 0.0, hp1 = 0.0;

@@ -40,7 +40,7 @@ struct AdmissionHarness {
     sched->set_afet(
         id, std::vector<double>(model->stage_count(),
                                 total_afet_us / model->stage_count()));
-    sched->task(id).set_context(ctx);
+    sched->set_task_context(id, ctx);
     return id;
   }
 };

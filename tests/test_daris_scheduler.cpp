@@ -135,8 +135,8 @@ TEST(Scheduler, MigrationMovesLpToFreeContext) {
   const int lp = h.add_task(Priority::kLow, 10.0, 500.0);
   h.sched->run_offline_phase();
   // Force both onto context 0 to create the conflict.
-  h.sched->task(hp).set_context(0);
-  h.sched->task(lp).set_context(0);
+  h.sched->set_task_context(hp, 0);
+  h.sched->set_task_context(lp, 0);
   h.sched->release_job(lp);
   h.sim.run();
   EXPECT_EQ(h.sched->migrations(), 1u);

@@ -199,5 +199,36 @@ TEST(GpuBasic, QuotaChangeTakesEffect) {
   EXPECT_EQ(gpu.context_quota(ctx), 20.0);
 }
 
+TEST(GpuBasic, EqualQuotaSetIsANoOp) {
+  // Setting a context's current quota again must not settle progress or
+  // re-solve rates: with the full (jittered) model, a run peppered with
+  // same-value quota sets produces the exact timeline of a run without
+  // them, and the redundant calls burn no simulator state (no events, no
+  // tie-break sequence numbers — either would perturb the timeline).
+  auto run_once = [](bool redundant_sets) {
+    sim::Simulator sim;
+    Gpu gpu(sim, GpuSpec{}, /*seed=*/7);
+    const auto ctx = gpu.create_context(24.0);
+    const auto s = gpu.create_stream(ctx);
+    std::vector<common::Time> finishes;
+    for (int i = 0; i < 8; ++i) {
+      KernelDesc k;
+      k.work = 100.0 + 17.0 * i;
+      k.parallelism = 40.0;
+      gpu.launch_kernel(s, k);
+      gpu.enqueue_callback(s, [&finishes, &sim] { finishes.push_back(sim.now()); });
+    }
+    if (redundant_sets) {
+      for (int i = 1; i <= 5; ++i) {
+        sim.schedule_at(from_us(20.0 * i),
+                        [&gpu, ctx] { gpu.set_context_quota(ctx, 24.0); });
+      }
+    }
+    sim.run();
+    return finishes;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
 }  // namespace
 }  // namespace daris::gpusim
