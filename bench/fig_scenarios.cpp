@@ -1,0 +1,163 @@
+// Scenario matrix behaviour gate: runs every named production scenario
+// (overload storm, fail-stop mid-burst, straggler, drain + autoscale,
+// diurnal trace replay, flash crowd), evaluates the committed thresholds on
+// the scheduling outcomes, and re-runs each scenario to prove the behaviour
+// digest is bit-identical. scripts/check_scenarios.py consumes the --json
+// output in CI; docs/SCENARIOS.md is the catalogue.
+//
+// Exit status: 0 when every check passes and every scenario is
+// deterministic, 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "experiments/scenarios.h"
+
+using namespace daris;
+
+namespace {
+
+const char* default_data_dir() {
+#ifdef DARIS_TEST_DATA_DIR
+  return DARIS_TEST_DATA_DIR;
+#else
+  return "tests/data";
+#endif
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& os,
+                const std::vector<exp::ScenarioResult>& results,
+                const std::vector<bool>& deterministic) {
+  os << "{\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\n"
+       << "      \"name\": \"" << json_escape(r.name) << "\",\n"
+       << "      \"description\": \"" << json_escape(r.description)
+       << "\",\n"
+       << "      \"pass\": " << (r.pass ? "true" : "false") << ",\n"
+       << "      \"deterministic\": "
+       << (deterministic[i] ? "true" : "false") << ",\n"
+       << "      \"fingerprint\": \"" << json_escape(r.fingerprint)
+       << "\",\n";
+    os << "      \"metrics\": {";
+    bool first = true;
+    for (const auto& [key, value] : r.metrics) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+      os << (first ? "" : ", ") << "\"" << key << "\": " << buf;
+      first = false;
+    }
+    os << "},\n      \"checks\": [\n";
+    for (std::size_t j = 0; j < r.checks.size(); ++j) {
+      const auto& c = r.checks[j];
+      char value[64];
+      char limit[64];
+      std::snprintf(value, sizeof value, "%.17g", c.value);
+      std::snprintf(limit, sizeof limit, "%.17g", c.limit);
+      os << "        {\"metric\": \"" << c.metric << "\", \"op\": \""
+         << (c.op == '<' ? "<=" : ">=") << "\", \"value\": " << value
+         << ", \"limit\": " << limit
+         << ", \"pass\": " << (c.pass ? "true" : "false") << "}"
+         << (j + 1 < r.checks.size() ? ",\n" : "\n");
+    }
+    os << "      ]\n    }" << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir = default_data_dir();
+  std::string json_path;
+  std::vector<std::string> wanted;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--data-dir") {
+      data_dir = value();
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--data-dir DIR] [--json FILE] [SCENARIO]...\n",
+          argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      wanted.push_back(arg);
+    }
+  }
+  if (wanted.empty()) wanted = exp::scenario_names();
+
+  std::printf("== Scenario matrix: behaviour thresholds ==\n\n");
+
+  std::vector<exp::ScenarioResult> results;
+  std::vector<bool> deterministic;
+  bool all_pass = true;
+
+  for (const auto& name : wanted) {
+    exp::ScenarioResult r = exp::run_scenario(name, data_dir);
+    // Determinism is part of the contract: the same scenario run again in
+    // the same process must produce the same behaviour digest.
+    const exp::ScenarioResult again = exp::run_scenario(name, data_dir);
+    const bool same = r.fingerprint == again.fingerprint;
+
+    std::printf("-- %s: %s\n", r.name.c_str(), r.description.c_str());
+    common::Table table({"check", "value", "limit", "status"});
+    for (const auto& c : r.checks) {
+      table.add_row({c.metric + (c.op == '<' ? " <=" : " >="),
+                     common::fmt_double(c.value, 4),
+                     common::fmt_double(c.limit, 4),
+                     c.pass ? "PASS" : "FAIL"});
+    }
+    table.add_row({"deterministic", same ? "yes" : "no", "yes",
+                   same ? "PASS" : "FAIL"});
+    std::printf("%s", table.to_string().c_str());
+    std::printf("   %s: %s\n\n", r.name.c_str(),
+                r.pass && same ? "PASS" : "FAIL");
+
+    all_pass = all_pass && r.pass && same;
+    results.push_back(std::move(r));
+    deterministic.push_back(same);
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    write_json(os, results, deterministic);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  std::printf("scenario matrix: %s (%zu scenarios)\n",
+              all_pass ? "PASS" : "FAIL", results.size());
+  return all_pass ? 0 : 1;
+}

@@ -1,0 +1,156 @@
+// Trace generator CLI: emits the CSV traces workload::TraceDriver replays
+// (docs/SCENARIOS.md documents the format and the scenario harness that
+// consumes them). The bundled tests/data/diurnal_50k.csv fixture was
+// produced by this tool; regenerate it with:
+//
+//   example_trace_gen --duration-s 30 --rate 1260 --diurnal-amp 0.5
+//       --diurnal-period-s 20 --flash 22:3:2.5 --seed 42
+//       --out tests/data/diurnal_50k.csv   (one line)
+//
+// The default mix is the mixed Table II task set's demand shares; override
+// per class with repeated --mix model:slo:weight flags.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "workload/taskset.h"
+#include "workload/trace.h"
+
+using namespace daris;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--out FILE] [--duration-s S] [--rate JPS]\n"
+      "          [--diurnal-amp A] [--diurnal-period-s S] [--diurnal-phase R]\n"
+      "          [--flash START:DURATION:FACTOR]... [--seed N]\n"
+      "          [--mix MODEL:SLO:WEIGHT]...\n"
+      "\n"
+      "Writes an `arrival_us,model,slo` CSV trace (stdout without --out).\n"
+      "MODEL in {resnet18,resnet50,unet,inceptionv3}, SLO in {hp,lp}.\n"
+      "Without --mix the mixed Table II demand shares are used.\n",
+      argv0);
+}
+
+bool parse_triple(const std::string& arg, double* a, double* b, double* c) {
+  const std::size_t p1 = arg.find(':');
+  const std::size_t p2 = p1 == std::string::npos ? p1 : arg.find(':', p1 + 1);
+  if (p2 == std::string::npos) return false;
+  try {
+    *a = std::stod(arg.substr(0, p1));
+    *b = std::stod(arg.substr(p1 + 1, p2 - p1 - 1));
+    *c = std::stod(arg.substr(p2 + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool parse_mix(const std::string& arg, workload::TraceMixEntry* out) {
+  const std::size_t p1 = arg.find(':');
+  const std::size_t p2 = p1 == std::string::npos ? p1 : arg.find(':', p1 + 1);
+  if (p2 == std::string::npos) return false;
+  const std::string model = arg.substr(0, p1);
+  const std::string slo = arg.substr(p1 + 1, p2 - p1 - 1);
+  if (model == "resnet18") {
+    out->model = dnn::ModelKind::kResNet18;
+  } else if (model == "resnet50") {
+    out->model = dnn::ModelKind::kResNet50;
+  } else if (model == "unet") {
+    out->model = dnn::ModelKind::kUNet;
+  } else if (model == "inceptionv3") {
+    out->model = dnn::ModelKind::kInceptionV3;
+  } else {
+    return false;
+  }
+  if (slo == "hp") {
+    out->slo = common::Priority::kHigh;
+  } else if (slo == "lp") {
+    out->slo = common::Priority::kLow;
+  } else {
+    return false;
+  }
+  try {
+    out->weight = std::stod(arg.substr(p2 + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return out->weight > 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  workload::TraceGenConfig config;
+  std::vector<workload::TraceMixEntry> mix;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--duration-s") {
+      config.duration_s = std::atof(value());
+    } else if (arg == "--rate") {
+      config.mean_rate_jps = std::atof(value());
+    } else if (arg == "--diurnal-amp") {
+      config.diurnal_amplitude = std::atof(value());
+    } else if (arg == "--diurnal-period-s") {
+      config.diurnal_period_s = std::atof(value());
+    } else if (arg == "--diurnal-phase") {
+      config.diurnal_phase = std::atof(value());
+    } else if (arg == "--seed") {
+      config.seed = static_cast<std::uint64_t>(std::strtoull(
+          value(), nullptr, 10));
+    } else if (arg == "--flash") {
+      workload::FlashCrowd f;
+      if (!parse_triple(value(), &f.start_s, &f.duration_s, &f.factor)) {
+        std::fprintf(stderr, "bad --flash (want START:DURATION:FACTOR)\n");
+        return 2;
+      }
+      config.flashes.push_back(f);
+    } else if (arg == "--mix") {
+      workload::TraceMixEntry e;
+      if (!parse_mix(value(), &e)) {
+        std::fprintf(stderr, "bad --mix (want MODEL:SLO:WEIGHT)\n");
+        return 2;
+      }
+      mix.push_back(e);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (mix.empty()) mix = workload::trace_mix(workload::mixed_taskset());
+
+  const workload::Trace trace = workload::generate_trace(mix, config);
+  if (out_path.empty()) {
+    workload::write_trace_csv(std::cout, trace);
+  } else {
+    std::string error;
+    if (!workload::save_trace_csv(out_path, trace, &error)) {
+      std::fprintf(stderr, "write failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "%zu rows, %.1f s, seed %llu\n", trace.rows.size(),
+               config.duration_s,
+               static_cast<unsigned long long>(config.seed));
+  return 0;
+}

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Behaviour gate over the scenario matrix (docs/SCENARIOS.md).
+
+Usage:
+    scripts/check_scenarios.py --bench build/bench_fig_scenarios \
+        [--data-dir tests/data] [--json OUT.json]
+    scripts/check_scenarios.py --json build/scenarios.json
+
+With --bench the scenario driver is executed (writing its JSON report to
+--json, or a temporary file); with only --json an existing report is
+validated. The gate fails when any scenario misses a committed threshold,
+is non-deterministic across the driver's built-in re-run, or when fewer
+scenarios ran than the matrix is expected to hold (a silently dropped
+scenario cannot fake a green gate).
+
+Unlike the perf gate, this one is strict: the simulator is deterministic,
+so threshold misses are real behaviour changes, not machine noise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Keep in sync with scenario_defs() in src/experiments/scenarios.cpp.
+EXPECTED_MIN_SCENARIOS = 6
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def run_bench(bench, data_dir, json_path):
+    cmd = [bench, "--json", json_path]
+    if data_dir:
+        cmd += ["--data-dir", data_dir]
+    # The driver's own exit status is ignored here; the gate re-derives
+    # pass/fail from the JSON so the two can never disagree silently.
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if not os.path.exists(json_path):
+        print(f"FAIL: {bench} produced no JSON report "
+              f"(exit status {proc.returncode})")
+        return False
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", help="path to bench_fig_scenarios")
+    parser.add_argument("--data-dir", help="trace fixture directory")
+    parser.add_argument("--json", help="JSON report path (read, or written "
+                        "by --bench)")
+    args = parser.parse_args()
+
+    if not args.bench and not args.json:
+        parser.error("need --bench and/or --json")
+
+    json_path = args.json
+    tmp = None
+    if args.bench:
+        if not json_path:
+            tmp = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+            tmp.close()
+            json_path = tmp.name
+        if not run_bench(args.bench, args.data_dir, json_path):
+            return 1
+
+    doc = load(json_path)
+    scenarios = doc.get("scenarios", [])
+
+    failures = []
+    if len(scenarios) < EXPECTED_MIN_SCENARIOS:
+        failures.append(
+            f"only {len(scenarios)} scenarios in report, expected at least "
+            f"{EXPECTED_MIN_SCENARIOS} — was a scenario dropped?")
+
+    for s in scenarios:
+        name = s.get("name", "?")
+        if not s.get("deterministic", False):
+            failures.append(f"{name}: NOT bit-identical across repeat runs")
+        for c in s.get("checks", []):
+            if not c.get("pass", False):
+                failures.append(
+                    f"{name}: {c['metric']} = {c['value']:.4g} violates "
+                    f"{c['op']} {c['limit']:.4g}")
+
+    print(f"{len(scenarios)} scenarios, "
+          f"{sum(1 for s in scenarios if s.get('pass'))} within thresholds, "
+          f"{sum(1 for s in scenarios if s.get('deterministic'))} "
+          "deterministic")
+
+    if tmp is not None:
+        os.unlink(tmp.name)
+
+    if failures:
+        print("\nscenario gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nscenario gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

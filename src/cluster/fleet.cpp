@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 
@@ -18,7 +19,10 @@ gpusim::GpuSpec GpuNodeSpec::resolved() const {
 
 Fleet::Fleet(sim::Simulator& sim, const FleetConfig& config,
              metrics::Collector* collector)
-    : sim_(sim), transfer_us_per_mb_(std::max(0.0, config.transfer_us_per_mb)) {
+    : sim_(sim),
+      collector_(collector),
+      seed_rng_(config.seed),
+      transfer_us_per_mb_(std::max(0.0, config.transfer_us_per_mb)) {
   if (config.nodes.empty()) {
     const int n = std::max(1, config.num_gpus);
     nodes_.reserve(static_cast<std::size_t>(n));
@@ -30,21 +34,22 @@ Fleet::Fleet(sim::Simulator& sim, const FleetConfig& config,
   } else {
     nodes_ = config.nodes;
   }
-  rt::SchedulerConfig sched_cfg = config.sched;
-  sched_cfg.canonicalize();
+  sched_cfg_ = config.sched;
+  sched_cfg_.canonicalize();
   // Per-GPU jitter seeds derive from the fleet seed through the same
-  // generator, so a fleet run is a pure function of (config, seed).
-  common::Rng root(config.seed);
+  // generator (a member, so add_gpu_now continues the sequence), so a fleet
+  // run is a pure function of (config, seed, fault schedule).
   const std::size_t n = nodes_.size();
   gpus_.reserve(n);
   schedulers_.reserve(n);
+  health_.assign(n, GpuHealth::kHealthy);
   hot_models_.assign(n, {});
   memory_used_mb_.assign(n, 0.0);
   for (std::size_t g = 0; g < n; ++g) {
     gpus_.push_back(std::make_unique<gpusim::Gpu>(sim_, nodes_[g].resolved(),
-                                                  root.next_u64()));
+                                                  seed_rng_.next_u64()));
     schedulers_.push_back(std::make_unique<rt::Scheduler>(
-        sim_, *gpus_.back(), sched_cfg, collector));
+        sim_, *gpus_.back(), sched_cfg_, collector_));
     schedulers_.back()->set_device_id(static_cast<int>(g));
   }
 }
@@ -120,6 +125,7 @@ bool Fleet::feasible(int task_id) const {
   const dnn::CompiledModel* model =
       model_of_task_[static_cast<std::size_t>(task_id)];
   for (int g = 0; g < size(); ++g) {
+    if (!placeable(g)) continue;  // failed/draining devices host nothing new
     // Memory: hot already, or the device could still pin it.
     const bool fits_memory =
         model_hot(g, task_id) ||
@@ -147,6 +153,104 @@ std::uint64_t Fleet::intra_gpu_migrations() const {
   std::uint64_t total = 0;
   for (int g = 0; g < size(); ++g) total += scheduler(g).migrations();
   return total;
+}
+
+int Fleet::placeable_count() const {
+  int n = 0;
+  for (int g = 0; g < size(); ++g) n += placeable(g) ? 1 : 0;
+  return n;
+}
+
+void Fleet::rehome_tasks_from(int g) {
+  // The new home is the placeable device with the lowest placement score
+  // (ties to the lowest index) — the router's best_peer signal. The score
+  // reads *active* utilisation, which rehoming does not change, so one
+  // lookup serves every task and the result is order-independent.
+  int best = -1;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (int p = 0; p < size(); ++p) {
+    if (!placeable(p)) continue;
+    const double score = placement_score(p);
+    if (score < best_score) {
+      best_score = score;
+      best = p;
+    }
+  }
+  if (best < 0) return;  // nowhere to go: feasible() sheds the releases
+  for (int t = 0; t < task_count(); ++t) {
+    if (home_[static_cast<std::size_t>(t)] != g) continue;
+    scheduler(g).set_task_resident(t, false);
+    scheduler(best).set_task_resident(t, true);
+    home_[static_cast<std::size_t>(t)] = best;
+    warm_model(best, t);
+  }
+}
+
+std::size_t Fleet::fail_gpu_now(int g) {
+  auto& h = health_[static_cast<std::size_t>(g)];
+  if (h == GpuHealth::kFailed) return 0;
+  h = GpuHealth::kFailed;
+  // Shed the scheduler's bookkeeping first (each lost job becomes a missed
+  // finish), then silence the device; the order is immaterial for
+  // correctness — dropped stage callbacks no-op through the jobs_ guard —
+  // but shedding first reports the losses before the device goes dark.
+  const std::size_t lost = scheduler(g).fail_all_jobs();
+  jobs_lost_ += lost;
+  gpu(g).halt();
+  rehome_tasks_from(g);
+  return lost;
+}
+
+void Fleet::fail_gpu(int g, common::Time when) {
+  sim_.schedule_at(when, [this, g] { fail_gpu_now(g); });
+}
+
+void Fleet::slow_gpu_now(int g, double factor) {
+  assert(factor > 0.0);
+  nodes_[static_cast<std::size_t>(g)].compute_scale *= factor;
+  gpu(g).set_spec(nodes_[static_cast<std::size_t>(g)].resolved());
+}
+
+void Fleet::slow_gpu(int g, double factor, common::Time when) {
+  sim_.schedule_at(when, [this, g, factor] { slow_gpu_now(g, factor); });
+}
+
+void Fleet::drain_gpu_now(int g) {
+  auto& h = health_[static_cast<std::size_t>(g)];
+  if (h != GpuHealth::kHealthy) return;  // failed stays failed
+  h = GpuHealth::kDraining;
+  rehome_tasks_from(g);
+}
+
+void Fleet::drain_gpu(int g, common::Time when) {
+  sim_.schedule_at(when, [this, g] { drain_gpu_now(g); });
+}
+
+int Fleet::add_gpu_now(const GpuNodeSpec& node) {
+  const int g = size();
+  nodes_.push_back(node);
+  health_.push_back(GpuHealth::kHealthy);
+  hot_models_.emplace_back();
+  memory_used_mb_.push_back(0.0);
+  gpus_.push_back(std::make_unique<gpusim::Gpu>(sim_, node.resolved(),
+                                                seed_rng_.next_u64()));
+  schedulers_.push_back(std::make_unique<rt::Scheduler>(
+      sim_, *gpus_.back(), sched_cfg_, collector_));
+  schedulers_.back()->set_device_id(g);
+  if (collector_ && collector_->gpu_count() > 0) {
+    collector_->grow_gpu_count(g + 1);
+  }
+  // Register every logical task on the new device, non-resident (homes do
+  // not move on scale-up; load reaches the device through routing). Task
+  // ids line up with every other scheduler by construction.
+  for (int t = 0; t < task_count(); ++t) {
+    const int id = schedulers_.back()->add_task(
+        scheduler(0).task(t).spec(),
+        model_of_task_[static_cast<std::size_t>(t)]);
+    (void)id;
+    assert(id == t);
+  }
+  return g;
 }
 
 }  // namespace daris::cluster

@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.h"
 #include "daris/scheduler.h"
 #include "gpusim/gpu.h"
 #include "metrics/collector.h"
@@ -55,6 +56,12 @@ struct GpuNodeSpec {
   /// The base spec with compute_scale applied.
   gpusim::GpuSpec resolved() const;
 };
+
+/// Lifecycle state of one device (fault injection / autoscaling; see
+/// docs/SCENARIOS.md). Healthy devices take placements; draining devices
+/// finish their in-flight work but receive nothing new; failed devices are
+/// dead — their in-flight jobs were shed as misses at the failure instant.
+enum class GpuHealth { kHealthy, kDraining, kFailed };
 
 struct FleetConfig {
   /// Homogeneous fleet: `num_gpus` copies of `gpu`. Ignored when `nodes` is
@@ -185,12 +192,79 @@ class Fleet {
   /// Sum of intra-GPU (context-level) migrations across the fleet.
   std::uint64_t intra_gpu_migrations() const;
 
+  // --- fault injection / autoscaling -------------------------------------
+  //
+  // The *_now forms act immediately; fail_gpu/slow_gpu/drain_gpu schedule
+  // the action as an ordinary simulator event at `when` (clamped to now if
+  // past), so fault timelines obey the same (when, seq) determinism
+  // contract as every other event. The fleet must outlive the simulator
+  // run, as with the release drivers.
+
+  GpuHealth health(int g) const { return health_[static_cast<std::size_t>(g)]; }
+
+  /// True when the router may place new work on g (healthy, not draining).
+  bool placeable(int g) const {
+    return health(g) == GpuHealth::kHealthy;
+  }
+  int placeable_count() const;
+
+  /// Fail-stop: sheds every in-flight job on g (reported as missed
+  /// finishes — see rt::Scheduler::fail_all_jobs), halts the simulated
+  /// device, and rehomes the tasks homed on g (their Eq. 11 HP reservation
+  /// moves to the least-loaded placeable device, and their models are
+  /// warmed there when capacity allows). Returns the number of jobs lost.
+  std::size_t fail_gpu_now(int g);
+  void fail_gpu(int g, common::Time when);
+
+  /// Straggler: multiplies g's compute scale by `factor` (< 1 slows, > 1
+  /// restores/boosts) and feeds the re-resolved spec into the simulated
+  /// device, which re-derives every resident kernel's rate deterministically
+  /// (gpusim::Gpu::set_spec). MRET adapts online; callers that want the
+  /// admission side to see the change immediately should re-seed AFET from
+  /// a profile of node(g).resolved() (cluster_runner does).
+  void slow_gpu_now(int g, double factor);
+  void slow_gpu(int g, double factor, common::Time when);
+
+  /// Graceful scale-down: g stops receiving placements but finishes its
+  /// in-flight work; tasks homed on g are rehomed as in fail_gpu_now.
+  void drain_gpu_now(int g);
+  void drain_gpu(int g, common::Time when);
+
+  /// Scale-up: appends a healthy device mid-run. Its jitter seed is the
+  /// next draw of the fleet's seed sequence (so a run with an add at time T
+  /// is a pure function of (config, seed, T)), every registered task is
+  /// added to its scheduler non-resident, and the collector's routing
+  /// counters grow in place. The caller owns AFET seeding and the offline
+  /// phase on the new device (see run_offline_phase(g)); until then its
+  /// tasks fall back to late context assignment. Returns the new index.
+  int add_gpu_now(const GpuNodeSpec& node);
+
+  /// Algorithm 1 on one device (after add_gpu_now + AFET seeding).
+  void run_offline_phase(int g) { scheduler(g).run_offline_phase(); }
+
+  /// Jobs shed by fail_gpu_now across the fleet (missed finishes).
+  std::uint64_t jobs_lost() const { return jobs_lost_; }
+
  private:
+  /// Moves every task homed on `g` to the least-loaded placeable device
+  /// (placement_score, ties to the lowest index). No-op for tasks homed
+  /// elsewhere; if no placeable device remains, homes stay and feasible()
+  /// sheds the releases.
+  void rehome_tasks_from(int g);
   sim::Simulator& sim_;
   std::vector<GpuNodeSpec> nodes_;
   std::vector<std::unique_ptr<gpusim::Gpu>> gpus_;
   std::vector<std::unique_ptr<rt::Scheduler>> schedulers_;
+  std::vector<GpuHealth> health_;
   std::vector<int> home_;
+  // Construction state kept for add_gpu_now: the canonicalized scheduler
+  // config every device shares, the collector new schedulers report to, and
+  // the seed sequence the constructor drew per-GPU seeds from (a member so
+  // a device added mid-run continues the same deterministic sequence).
+  rt::SchedulerConfig sched_cfg_;
+  metrics::Collector* collector_ = nullptr;
+  common::Rng seed_rng_{0};
+  std::uint64_t jobs_lost_ = 0;
   std::vector<const dnn::CompiledModel*> model_of_task_;
   /// Per GPU: distinct models pinned hot, and the MB they occupy.
   std::vector<std::vector<const dnn::CompiledModel*>> hot_models_;

@@ -35,16 +35,35 @@ int Router::pick(int task_id) {
   const int n = fleet_.size();
   switch (config_.policy) {
     case RoutingPolicy::kRoundRobin: {
-      const int g = rr_next_;
+      // Skip failed/draining devices; with everything placeable this is the
+      // historical one-step advance. A fully unplaceable fleet returns the
+      // raw cursor and release() sheds the job as infeasible.
+      int g = rr_next_;
       rr_next_ = (rr_next_ + 1) % n;
+      for (int tries = 1; tries < n && !fleet_.placeable(g); ++tries) {
+        g = rr_next_;
+        rr_next_ = (rr_next_ + 1) % n;
+      }
       return g;
     }
     case RoutingPolicy::kLeastUtilization:
       return best_peer(/*exclude=*/-1);
     case RoutingPolicy::kPowerOfTwo: {
+      // Both draws always happen, so the RNG stream — and with it every
+      // healthy-fleet run — is untouched by the availability filter.
       const int a = static_cast<int>(rng_.uniform_int(0, n - 1));
       const int b = static_cast<int>(rng_.uniform_int(0, n - 1));
-      return fleet_.placement_score(b) < fleet_.placement_score(a) ? b : a;
+      const double sa = fleet_.placeable(a)
+                            ? fleet_.placement_score(a)
+                            : std::numeric_limits<double>::infinity();
+      const double sb = fleet_.placeable(b)
+                            ? fleet_.placement_score(b)
+                            : std::numeric_limits<double>::infinity();
+      if (sa == std::numeric_limits<double>::infinity() &&
+          sb == std::numeric_limits<double>::infinity()) {
+        return best_peer(/*exclude=*/-1);  // both samples dead: fall back
+      }
+      return sb < sa ? b : a;
     }
     case RoutingPolicy::kModelAffinity:
       return fleet_.home_gpu(task_id);
@@ -71,7 +90,7 @@ int Router::best_peer(int exclude) const {
   int best = -1;
   double best_score = std::numeric_limits<double>::infinity();
   for (int g = 0; g < fleet_.size(); ++g) {
-    if (g == exclude) continue;
+    if (g == exclude || !fleet_.placeable(g)) continue;
     const double score = fleet_.placement_score(g);
     if (score < best_score) {
       best_score = score;
@@ -89,9 +108,19 @@ void Router::release(int task_id) {
   // level up (a dynamically routed HP job would land where no capacity is
   // reserved for it and push admitted LP work into lateness). The routing
   // policy places the migratable LP jobs.
-  const int home = spec.priority == common::Priority::kHigh
-                       ? fleet_.home_gpu(task_id)
-                       : pick(task_id);
+  int home = spec.priority == common::Priority::kHigh
+                 ? fleet_.home_gpu(task_id)
+                 : pick(task_id);
+  // Availability guard: a failed/draining pick (or a -1 from a policy that
+  // found nothing placeable) is redirected to the best placeable device;
+  // when none exists the raw pick stands and the feasibility shed below
+  // rejects the job. Task homes themselves are kept placeable by the
+  // fleet's rehoming, so this only fires in degraded states.
+  if (home < 0 || !fleet_.placeable(home)) {
+    const int alt = best_peer(home);
+    if (alt >= 0) home = alt;
+  }
+  if (home < 0) home = 0;  // whole fleet unplaceable: nominal accounting slot
 
   metrics::JobEvent ev;
   ev.task_id = task_id;
@@ -180,6 +209,12 @@ void Router::migrate(int task_id, int from, int peer,
 
 void Router::deliver(int task_id, int from, int peer,
                      common::Time released) {
+  // The target may have failed or started draining while the weight
+  // transfer was in flight; the bytes are already spent, the job is not.
+  if (!fleet_.placeable(peer)) {
+    drop(task_id, from, released);
+    return;
+  }
   // Weights are on the device now (transfer done, or hot already); pin them
   // while capacity allows so repeat migrations of this model are free. The
   // job keeps its original release time: the transfer consumed deadline

@@ -170,6 +170,14 @@ bool Scheduler::release_job(int task_id, bool report, Time released_at) {
   ev.gpu = device_id_;
   if (report && collector_) collector_->on_release(ev);
 
+  // A failed device admits nothing: releases that race the failure (e.g. a
+  // migrated job whose weight transfer was in flight when the GPU died) are
+  // shed like any other rejection.
+  if (failed_) {
+    if (report && collector_) collector_->on_reject(ev);
+    return false;
+  }
+
   // Late assignment for tasks added after the offline phase.
   if (t.context() < 0) set_task_context(task_id, 0);
 
@@ -483,6 +491,61 @@ void Scheduler::finish_job(JobRuntime& jr) {
     ev.gpu = device_id_;
     collector_->on_finish(ev);
   }
+}
+
+std::size_t Scheduler::fail_all_jobs() {
+  failed_ = true;
+  // unordered_map iteration order is unspecified; unwind in ascending job-id
+  // order so the collector's event sequence (and with it every downstream
+  // report) is deterministic.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, jr] : jobs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  const Time now = sim_.now();
+  for (const std::uint64_t id : ids) {
+    const auto it = jobs_.find(id);
+    Job& job = it->second->job;
+    Task& t = *job.task;
+    auto& rec = contexts_[static_cast<std::size_t>(job.context)];
+    // Same utilisation unwind as finish_job — the job leaves the active set
+    // either way — but it counts as failed, not completed, and its finish
+    // event is forced missed: a request lost to a dead GPU is a deadline
+    // miss from the client's point of view even if its deadline lay ahead.
+    if (t.spec().priority == Priority::kLow) {
+      rec.active_lp_util =
+          std::max(0.0, rec.active_lp_util - job.admitted_utilization);
+    } else {
+      rec.active_hp_util =
+          std::max(0.0, rec.active_hp_util - job.admitted_utilization);
+      if (!t.resident()) {
+        rec.migrated_hp_util =
+            std::max(0.0, rec.migrated_hp_util - job.admitted_utilization);
+      }
+    }
+    --t.active_jobs;
+    ++jobs_failed_;
+    if (collector_) {
+      metrics::JobEvent ev;
+      ev.task_id = t.id();
+      ev.priority = t.spec().priority;
+      ev.release = job.release;
+      ev.finish = now;
+      ev.relative_deadline = t.spec().relative_deadline;
+      ev.missed = true;
+      ev.context = job.context;
+      ev.gpu = device_id_;
+      collector_->on_finish(ev);
+    }
+    jobs_.erase(it);
+  }
+  for (auto& rec : contexts_) {
+    rec.ready.clear();  // queued ReadyStages point at the jobs just erased
+    std::fill(rec.stream_busy.begin(), rec.stream_busy.end(), false);
+    rec.outstanding_work_us = 0.0;
+  }
+  return ids.size();
 }
 
 }  // namespace daris::rt

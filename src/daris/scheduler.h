@@ -98,6 +98,23 @@ class Scheduler {
   /// Migration counter (LP jobs admitted to a context other than ctx_i).
   std::uint64_t migrations() const { return migrations_; }
 
+  /// Fail-stop injection (cluster::Fleet::fail_gpu): drops every in-flight
+  /// job — each is reported to the collector as a *missed* finish at the
+  /// failure instant, so lost work lands in the deadline-miss rate instead
+  /// of vanishing — clears the ready queues and stream-busy flags, zeroes
+  /// the backlog proxy, and marks the scheduler failed (all later releases
+  /// are rejected). Jobs are unwound in ascending job-id order so the
+  /// collector event sequence is deterministic. Pending sync wake-ups and
+  /// stage callbacks for the dropped jobs no-op through the existing
+  /// jobs_.find guard. Returns the number of jobs dropped.
+  std::size_t fail_all_jobs();
+
+  /// True once fail_all_jobs ran; a failed scheduler admits nothing.
+  bool failed() const { return failed_; }
+
+  /// Jobs dropped by fail_all_jobs (distinct from jobs_completed()).
+  std::uint64_t jobs_failed() const { return jobs_failed_; }
+
   /// Device index stamped into job/stage events (cluster runs; default -1).
   void set_device_id(int id) { device_id_ = id; }
   int device_id() const { return device_id_; }
@@ -161,8 +178,10 @@ class Scheduler {
   std::unordered_map<std::uint64_t, std::unique_ptr<JobRuntime>> jobs_;
   std::uint64_t next_job_id_ = 1;
   std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
   std::uint64_t migrations_ = 0;
   int device_id_ = -1;
+  bool failed_ = false;
 };
 
 }  // namespace daris::rt

@@ -39,6 +39,12 @@ class StageQueue {
   ReadyStage pop();
   const ReadyStage& peek() const { return heap_.top(); }
 
+  /// Drops every queued stage (fail-stop injection: the jobs they belong to
+  /// are being erased, so the dangling Job pointers must not survive). The
+  /// FIFO tie-break counter keeps running — sequence numbers stay unique
+  /// across the failure.
+  void clear() { heap_ = {}; }
+
  private:
   struct Worse {
     bool operator()(const ReadyStage& a, const ReadyStage& b) const {

@@ -19,6 +19,8 @@ const char* arrival_mode_name(ArrivalMode m) {
       return "poisson";
     case ArrivalMode::kBursty:
       return "bursty";
+    case ArrivalMode::kTrace:
+      return "trace";
   }
   return "?";
 }
@@ -189,16 +191,16 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   // Offline phase 1: AFET profiling, once per distinct resolved device
   // spec (a homogeneous fleet profiles once; heterogeneous nodes each
   // measure their own full-load execution times, seeding per-device MRET
-  // honestly).
+  // honestly). The cache stays live for the whole run: kSlow/kAdd fault
+  // callbacks re-seed a changed device through the same lookup, so a
+  // straggler slowed to a scale some other node already runs at reuses that
+  // node's profile verbatim.
   std::vector<const dnn::CompiledModel*> distinct;
   distinct.reserve(models.size());
   for (const auto& [kind, m] : models) distinct.push_back(m.get());
   std::vector<gpusim::GpuSpec> profiled_specs;
   std::vector<rt::AfetResult> afet_profiles;
-  std::vector<std::size_t> afet_of_gpu(
-      static_cast<std::size_t>(fleet.size()), 0);
-  for (int g = 0; g < fleet.size(); ++g) {
-    const gpusim::GpuSpec spec = fleet.node(g).resolved();
+  auto profile_slot = [&](const gpusim::GpuSpec& spec) {
     std::size_t slot = profiled_specs.size();
     for (std::size_t i = 0; i < profiled_specs.size(); ++i) {
       if (same_spec(profiled_specs[i], spec)) {
@@ -211,7 +213,13 @@ ClusterResult run_cluster(const ClusterConfig& config) {
       afet_profiles.push_back(rt::profile_afet(
           spec, sched_cfg, distinct, /*jobs_per_stream=*/16, config.seed));
     }
-    afet_of_gpu[static_cast<std::size_t>(g)] = slot;
+    return slot;
+  };
+  std::vector<std::size_t> afet_of_gpu(
+      static_cast<std::size_t>(fleet.size()), 0);
+  for (int g = 0; g < fleet.size(); ++g) {
+    afet_of_gpu[static_cast<std::size_t>(g)] =
+        profile_slot(fleet.node(g).resolved());
   }
 
   std::vector<double> work_per_job(config.taskset.tasks.size(), 0.0);
@@ -244,10 +252,15 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   const common::Time horizon = common::from_sec(config.duration_s);
   std::unique_ptr<workload::PeriodicDriver> periodic;
   std::unique_ptr<workload::OpenLoopDriver> open_loop;
+  std::unique_ptr<workload::TraceDriver> trace_driver;
   if (config.arrivals == ArrivalMode::kPeriodic) {
     periodic = std::make_unique<workload::PeriodicDriver>(
         sim, config.taskset, to_router, horizon);
     periodic->start();
+  } else if (config.arrivals == ArrivalMode::kTrace) {
+    trace_driver = std::make_unique<workload::TraceDriver>(
+        sim, config.taskset, config.trace, to_router, horizon);
+    trace_driver->start();
   } else {
     workload::OpenLoopConfig ol;
     ol.process = config.arrivals == ArrivalMode::kPoisson
@@ -259,6 +272,47 @@ ClusterResult run_cluster(const ClusterConfig& config) {
         sim, config.taskset, to_router, horizon, ol);
     open_loop->start();
   }
+
+  // Fault schedule: each action is an ordinary simulator event. kFail and
+  // kDrain are pure Fleet transitions; kSlow and kAdd additionally re-seed
+  // the changed device's AFET from the profile cache above (MRET would
+  // converge on its own, but only after mispredicted stages — the paper's
+  // offline phase exists precisely to spare the admission test that blind
+  // spot). The profiling caches and the model map are function-locals that
+  // outlive sim.run_until, so capturing them by reference is sound.
+  auto seed_afet = [&](int g) {
+    const auto& afet = afet_profiles[profile_slot(fleet.node(g).resolved())];
+    for (std::size_t i = 0; i < config.taskset.tasks.size(); ++i) {
+      fleet.set_afet(static_cast<int>(i), g,
+                     afet.for_model(models.at(config.taskset.tasks[i].model)
+                                        .get()));
+    }
+  };
+  for (const FaultSpec& f : config.faults) {
+    const common::Time when = common::from_sec(f.at_s);
+    switch (f.kind) {
+      case FaultSpec::Kind::kFail:
+        fleet.fail_gpu(f.gpu, when);
+        break;
+      case FaultSpec::Kind::kDrain:
+        fleet.drain_gpu(f.gpu, when);
+        break;
+      case FaultSpec::Kind::kSlow:
+        sim.schedule_at(when, [&fleet, &seed_afet, f] {
+          fleet.slow_gpu_now(f.gpu, f.factor);
+          seed_afet(f.gpu);
+        });
+        break;
+      case FaultSpec::Kind::kAdd:
+        sim.schedule_at(when, [&fleet, &seed_afet, f] {
+          const int g = fleet.add_gpu_now(f.node);
+          seed_afet(g);
+          fleet.run_offline_phase(g);
+        });
+        break;
+    }
+  }
+
   sim.run_until(horizon);
 
   ClusterResult result;
@@ -271,7 +325,11 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   result.transfers = router.transfers();
   result.transferred_mb = router.transferred_mb();
   result.intra_gpu_migrations = fleet.intra_gpu_migrations();
-  result.arrivals = open_loop ? open_loop->arrivals() : 0;
+  result.arrivals = open_loop      ? open_loop->arrivals()
+                    : trace_driver ? trace_driver->arrivals()
+                                   : 0;
+  result.jobs_lost = fleet.jobs_lost();
+  result.unmatched_rows = trace_driver ? trace_driver->unmatched() : 0;
   result.per_gpu.resize(static_cast<std::size_t>(fleet.size()));
   for (int g = 0; g < fleet.size(); ++g) {
     auto& s = result.per_gpu[static_cast<std::size_t>(g)];

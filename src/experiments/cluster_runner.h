@@ -10,6 +10,7 @@
 #include "cluster/router.h"
 #include "experiments/runner.h"
 #include "workload/driver.h"
+#include "workload/trace.h"
 
 namespace daris::exp {
 
@@ -18,9 +19,27 @@ enum class ArrivalMode {
   kPeriodic,  // strictly periodic (phase + k*T), the paper's workload
   kPoisson,   // open-loop Poisson arrivals at each task's nominal rate
   kBursty,    // open-loop two-state bursty (MMPP-style) arrivals
+  kTrace,     // replay of ClusterConfig::trace through workload::TraceDriver
 };
 
 const char* arrival_mode_name(ArrivalMode m);
+
+/// One scheduled fault / autoscaling action (docs/SCENARIOS.md). Actions
+/// run as ordinary simulator events at `at_s`, so a faulted run stays a
+/// pure function of (config, seed, fault list).
+struct FaultSpec {
+  enum class Kind {
+    kFail,   // fail-stop: in-flight jobs become misses, device goes dark
+    kSlow,   // straggler: multiply the device's compute scale by `factor`
+    kDrain,  // graceful scale-down: finish in-flight, place nothing new
+    kAdd,    // scale-up: bring `node` online, profiled and assigned live
+  };
+  Kind kind = Kind::kFail;
+  int gpu = 0;         // target device index (ignored for kAdd)
+  double at_s = 0.0;   // simulated seconds from run start
+  double factor = 1.0; // kSlow only (0.5 halves the device's throughput)
+  cluster::GpuNodeSpec node;  // kAdd only: the device brought online
+};
 
 struct ClusterConfig {
   workload::TaskSetSpec taskset;
@@ -41,6 +60,13 @@ struct ClusterConfig {
   ArrivalMode arrivals = ArrivalMode::kPeriodic;
   /// Rate multiplier for the open-loop modes (>1 drives overload).
   double rate_scale = 1.0;
+  /// kTrace arrivals: the trace to replay (rows map to taskset tasks
+  /// round-robin within their (model, SLO) class).
+  workload::Trace trace;
+  /// Fault / autoscaling schedule; empty (the default) leaves the run
+  /// byte-identical to a fault-free one. kSlow and kAdd re-profile AFET for
+  /// the changed device via the same cached-by-spec path as construction.
+  std::vector<FaultSpec> faults;
   double duration_s = 6.0;
   double warmup_s = 1.0;
   std::uint64_t seed = 42;
@@ -66,7 +92,11 @@ struct ClusterResult {
   std::uint64_t transfers = 0;           // cold-model weight transfers
   double transferred_mb = 0.0;           // total weight MB shipped
   std::uint64_t intra_gpu_migrations = 0;
-  std::uint64_t arrivals = 0;  // open-loop modes; 0 for periodic
+  std::uint64_t arrivals = 0;  // open-loop + trace modes; 0 for periodic
+  /// In-flight jobs shed by fail-stop faults (each also a missed finish).
+  std::uint64_t jobs_lost = 0;
+  /// Trace rows skipped because no task serves their (model, SLO) class.
+  std::uint64_t unmatched_rows = 0;
   std::vector<metrics::StageEvent> stage_trace;
 };
 

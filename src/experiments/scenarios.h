@@ -1,0 +1,59 @@
+// Scenario matrix: named production-shaped runs (overload storm, fail-stop
+// mid-burst, straggler, drain-under-load + autoscale, diurnal replay, flash
+// crowd) with committed behaviour thresholds on the scheduling outcomes —
+// HP deadline-miss rate, starvation, worst stall, lost jobs. The paper's
+// figures check *speed and shape* under synthetic load; this matrix is the
+// behaviour-regression gate under realistic and adversarial load
+// (bench/fig_scenarios.cpp drives it, scripts/check_scenarios.py gates CI).
+// docs/SCENARIOS.md is the catalogue and the how-to-add guide.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/cluster_runner.h"
+#include "metrics/trace_report.h"
+
+namespace daris::exp {
+
+/// One committed threshold, evaluated against a named scenario metric.
+struct ThresholdCheck {
+  std::string metric;  // key into ScenarioResult::metrics
+  char op = '<';       // '<': value <= limit, '>': value >= limit
+  double limit = 0.0;
+  double value = 0.0;
+  bool pass = false;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string description;
+  ClusterResult cluster;  // stage_trace cleared (folded into `report`)
+  metrics::TraceReport report;
+  /// Named behaviour metrics the thresholds (and the CI gate) read:
+  /// hp_dmr, lp_dmr, hp_completed, lp_completed, hp_missed, jobs_lost,
+  /// drops, infeasible, worst_stall_us, starved_frac, unmatched_rows,
+  /// arrivals, total_jps.
+  std::map<std::string, double> metrics;
+  std::vector<ThresholdCheck> checks;
+  bool pass = false;  // every check passed
+
+  /// Behaviour digest for bit-identity comparison across repeated runs:
+  /// every counter above plus per-GPU completions, exactly formatted.
+  std::string fingerprint;
+};
+
+/// Registered scenario names, in run order.
+std::vector<std::string> scenario_names();
+
+/// One-line description of a scenario (empty for unknown names).
+std::string scenario_description(const std::string& name);
+
+/// Runs one named scenario; `data_dir` locates bundled traces (the
+/// repository's tests/data). Unknown names return a ScenarioResult with
+/// pass = false and an "unknown scenario" description.
+ScenarioResult run_scenario(const std::string& name,
+                            const std::string& data_dir);
+
+}  // namespace daris::exp

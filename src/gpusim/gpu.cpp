@@ -32,6 +32,48 @@ ContextId Gpu::create_context(double sm_quota) {
   return static_cast<ContextId>(contexts_.size()) - 1;
 }
 
+void Gpu::set_spec(const GpuSpec& spec) {
+  spec_ = spec;
+  jitter_rho_ = std::clamp(spec_.jitter_rho, 0.0, 0.999);
+  jitter_innovation_scale_ = std::sqrt(1.0 - jitter_rho_ * jitter_rho_);
+  // Quota-shaped efficiency caches depend on the spec's penalty constants;
+  // recompute them (water-fill shares depend only on quota + members and
+  // stay valid, but the rate recompute below consumes eff_quota).
+  for (auto& cs : contexts_) {
+    cs.eff_quota = context_eff_quota(cs.quota);
+    // eff_intra depends on alpha_intra/intra_saturation; force a re-solve.
+    cs.dirty = true;
+  }
+  if (!order_.empty() || completion_event_.valid()) flush_rates();
+}
+
+void Gpu::halt() {
+  // Fold the final interval under the old rates so utilisation up to the
+  // failure instant is preserved, then drop everything.
+  settle_progress();
+  for (auto& st : streams_) {
+    st.queue.clear();
+    st.busy = false;
+    ++st.gen;  // pending on_launch_done events go stale
+  }
+  for (auto& cs : contexts_) {
+    cs.launching = false;
+    cs.launch_queue.clear();
+    cs.members.clear();
+    cs.shares.clear();
+    cs.eff_intra = 1.0;
+    cs.dirty = false;
+  }
+  for (const int slot : order_) {
+    auto& ak = slots_[static_cast<std::size_t>(slot)];
+    ak.fire_time = common::kTimeInfinity;
+    ak.bucket_pos = -1;
+    free_slots_.push_back(slot);
+  }
+  order_.clear();
+  arm_completion_event(-1);
+}
+
 void Gpu::set_context_quota(ContextId ctx, double sm_quota) {
   assert(ctx >= 0 && ctx < static_cast<int>(contexts_.size()));
   auto& cs = contexts_[static_cast<std::size_t>(ctx)];

@@ -72,6 +72,26 @@ class Gpu {
   const GpuSpec& spec() const { return spec_; }
   sim::Simulator& simulator() { return sim_; }
 
+  /// Replaces the device spec mid-run (straggler / clock-throttle injection:
+  /// cluster::Fleet::slow_gpu feeds the node's re-resolved spec through
+  /// here). Progress is settled under the old rates first, then every
+  /// resident kernel's rate — and its predicted completion — is re-derived
+  /// from the new SM count and bandwidth, drawing fresh tie-break numbers
+  /// exactly as any other rate change does, so the run stays deterministic.
+  /// Context quotas are untouched: a slowdown shrinks the physical SM count
+  /// under the existing partition and the oversubscription rescale (step 2
+  /// of the solve) charges every context proportionally.
+  void set_spec(const GpuSpec& spec);
+
+  /// Fail-stop: drops all queued commands and resident kernels without
+  /// running their completion callbacks, after folding the final busy
+  /// interval (under the old rates) into the utilisation integral. Pending
+  /// launch events go stale via the per-stream generation guard and the
+  /// mirrored completion event is cancelled, so a halted device fires no
+  /// further events. Dropped kernels do not count as completed. The device
+  /// stays structurally valid (contexts/streams remain) but idle.
+  void halt();
+
   /// Creates an MPS context limited to `sm_quota` SMs (Eq. 9 output).
   ContextId create_context(double sm_quota);
 

@@ -30,6 +30,10 @@ void Collector::set_gpu_count(int n) {
   routing_.assign(static_cast<std::size_t>(n < 0 ? 0 : n), RoutingCounters{});
 }
 
+void Collector::grow_gpu_count(int n) {
+  if (n > gpu_count()) routing_.resize(static_cast<std::size_t>(n));
+}
+
 void Collector::on_route(int gpu) {
   ++routing_[static_cast<std::size_t>(gpu)].routed;
 }

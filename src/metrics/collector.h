@@ -106,6 +106,9 @@ class Collector {
 
   /// Sizes the per-GPU routing counters (cluster runs only).
   void set_gpu_count(int n);
+  /// Widens the per-GPU routing counters without wiping accumulated state
+  /// (mid-run autoscaling: cluster::Fleet::add_gpu_now). Never shrinks.
+  void grow_gpu_count(int n);
   void on_route(int gpu);
   void on_home_admit(int gpu);
   void on_cross_migration(int from_gpu, int to_gpu);

@@ -25,6 +25,19 @@
 namespace daris::workload {
 
 /// Sink for job releases; called with the task index at each arrival.
+///
+/// Deliberately a std::function rather than a sim::Callback: the sink is
+/// multi-shot (invoked on every arrival for the whole run) while
+/// sim::Callback is one-shot move-only — converting would force a re-wrap
+/// per fire, the opposite of the zero-allocation goal. The cost profile is
+/// already right as-is: each driver constructs its ReleaseFn exactly once
+/// (one possible allocation per run, outside any measured window), invoking
+/// a std::function allocates nothing, and the *fire paths* — the per-event
+/// hot loop — ride sim::Callback's inline buffer, since every driver
+/// captures only {this, task_id} (<= 16 bytes, far under
+/// sim::Callback::kInlineCapacity) and re-arms a pooled event in place.
+/// test_sim_alloc.cpp pins exactly this: steady-state OpenLoopDriver and
+/// TraceDriver replay perform zero heap allocations.
 using ReleaseFn = std::function<void(int task_id)>;
 
 /// Schedules strictly periodic releases (phase + k*T) for every task, up to

@@ -1,0 +1,319 @@
+// Fault injection and autoscaling: fail-stop sheds exactly the dead GPU's
+// in-flight jobs, the router never places on failed or draining devices,
+// drain completes in-flight work, stragglers slow deterministically via the
+// resolved-spec path, mid-run scale-up serves load, and a full fault
+// schedule is bit-identical across repeat runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "cluster/router.h"
+#include "experiments/cluster_runner.h"
+
+namespace daris::cluster {
+namespace {
+
+using common::Priority;
+
+/// Same deterministic fixture as test_cluster.cpp: jitter-free fleet,
+/// single-context single-stream GPUs, one shared ResNet18 model,
+/// zero-delay transfers, directly chosen AFET.
+struct Harness {
+  explicit Harness(int num_gpus, int num_contexts = 1) {
+    FleetConfig cfg;
+    cfg.num_gpus = num_gpus;
+    cfg.gpu.jitter_cv = 0.0;
+    cfg.transfer_us_per_mb = 0.0;
+    cfg.sched.policy = rt::Policy::kMps;
+    cfg.sched.num_contexts = num_contexts;
+    model = std::make_unique<dnn::CompiledModel>(
+        dnn::compiled_model(dnn::ModelKind::kResNet18, 1, cfg.gpu));
+    collector.set_gpu_count(num_gpus);
+    fleet = std::make_unique<Fleet>(sim, cfg, &collector);
+  }
+
+  int add_task(Priority priority, double total_afet_us, int home_gpu) {
+    rt::TaskSpec spec;
+    spec.model = dnn::ModelKind::kResNet18;
+    spec.period = common::from_ms(10.0);
+    spec.relative_deadline = spec.period;
+    spec.priority = priority;
+    const int id = fleet->add_task(spec, model.get(), home_gpu);
+    fleet->set_afet(
+        id, std::vector<double>(
+                model->stage_count(),
+                total_afet_us / static_cast<double>(model->stage_count())));
+    return id;
+  }
+
+  sim::Simulator sim;
+  metrics::Collector collector;
+  std::unique_ptr<dnn::CompiledModel> model;
+  std::unique_ptr<Fleet> fleet;
+};
+
+// --- fail-stop ------------------------------------------------------------
+
+TEST(FleetFaults, FailStopShedsOnlyTheDeadGpusJobs) {
+  Harness h(2);
+  const int on0 = h.add_task(Priority::kLow, 2000.0, 0);
+  const int on1 = h.add_task(Priority::kLow, 2000.0, 1);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kModelAffinity, 1, &h.collector);
+  router.release(on0);
+  router.release(on1);
+  ASSERT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 1u);
+  ASSERT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 1u);
+
+  EXPECT_EQ(h.fleet->fail_gpu_now(0), 1u);
+  EXPECT_EQ(h.fleet->health(0), GpuHealth::kFailed);
+  EXPECT_FALSE(h.fleet->placeable(0));
+  EXPECT_EQ(h.fleet->placeable_count(), 1);
+
+  // Only GPU 0's job died; GPU 1's keeps running and completes on time.
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 0u);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 1u);
+  EXPECT_EQ(h.fleet->jobs_lost(), 1u);
+  // The shed job is reported as a missed finish.
+  EXPECT_EQ(h.collector.summary(Priority::kLow).missed, 1u);
+  h.sim.run();
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_completed(), 1u);
+  EXPECT_EQ(h.collector.summary(Priority::kLow).missed, 1u);
+
+  // Tasks homed on the dead device moved to the survivor.
+  EXPECT_EQ(h.fleet->home_gpu(on0), 1);
+  EXPECT_EQ(h.fleet->home_gpu(on1), 1);
+
+  // Idempotent: a second fail of the same device sheds nothing more.
+  EXPECT_EQ(h.fleet->fail_gpu_now(0), 0u);
+  EXPECT_EQ(h.fleet->jobs_lost(), 1u);
+}
+
+TEST(FleetFaults, RouterNeverPlacesOnFailedGpu) {
+  Harness h(2);
+  const int lp = h.add_task(Priority::kLow, 500.0, 0);
+  const int hp = h.add_task(Priority::kHigh, 500.0, 0);
+  h.fleet->run_offline_phase();
+  h.fleet->fail_gpu_now(0);
+  // Round-robin would offer GPU 0 first; the dead device must be skipped
+  // for LP, and the HP job follows its rehomed reservation.
+  Router router(*h.fleet, RoutingPolicy::kRoundRobin, 1, &h.collector);
+  router.release(lp);
+  router.release(hp);
+  EXPECT_EQ(h.collector.routing(0).routed, 0u);
+  EXPECT_EQ(h.collector.routing(1).routed, 2u);
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 0u);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 2u);
+  EXPECT_EQ(router.drops(), 0u);
+}
+
+TEST(FleetFaults, RouterNeverPlacesOnDrainingGpu) {
+  Harness h(2);
+  const int lp = h.add_task(Priority::kLow, 500.0, 0);
+  h.fleet->run_offline_phase();
+  h.fleet->drain_gpu_now(0);
+  EXPECT_EQ(h.fleet->health(0), GpuHealth::kDraining);
+  Router router(*h.fleet, RoutingPolicy::kLeastUtilization, 1, &h.collector);
+  router.release(lp);
+  EXPECT_EQ(h.collector.routing(0).routed, 0u);
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 0u);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 1u);
+}
+
+// --- drain ----------------------------------------------------------------
+
+TEST(FleetFaults, DrainCompletesInFlightWork) {
+  Harness h(2);
+  const int lp = h.add_task(Priority::kLow, 4000.0, 0);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kModelAffinity, 1, &h.collector);
+  router.release(lp);
+  ASSERT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 1u);
+
+  h.fleet->drain_gpu_now(0);
+  // Graceful: nothing is shed, the job finishes on the draining device.
+  EXPECT_EQ(h.fleet->jobs_lost(), 0u);
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 1u);
+  h.sim.run();
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_completed(), 1u);
+  EXPECT_EQ(h.collector.summary(Priority::kLow).missed, 0u);
+  // The task was rehomed, so the next release lands on the survivor.
+  EXPECT_EQ(h.fleet->home_gpu(lp), 1);
+  router.release(lp);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 1u);
+  // Draining a failed device must not resurrect it to draining.
+  h.fleet->fail_gpu_now(1);
+  h.fleet->drain_gpu_now(1);
+  EXPECT_EQ(h.fleet->health(1), GpuHealth::kFailed);
+}
+
+// --- straggler ------------------------------------------------------------
+
+TEST(FleetFaults, StragglerSlowsJobsThroughTheResolvedSpec) {
+  Harness h(1);
+  const int lp = h.add_task(Priority::kLow, 5000.0, 0);
+  h.fleet->run_offline_phase();
+  h.collector.enable_job_trace(true);
+  Router router(*h.fleet, RoutingPolicy::kLeastUtilization, 1, &h.collector);
+
+  router.release(lp);
+  h.sim.run();
+  ASSERT_EQ(h.collector.job_trace().size(), 1u);
+  const auto baseline = h.collector.job_trace()[0].finish -
+                        h.collector.job_trace()[0].release;
+
+  h.fleet->slow_gpu_now(0, 0.5);
+  EXPECT_DOUBLE_EQ(h.fleet->compute_scale(0), 0.5);
+  // The simulated device now runs the re-resolved node spec.
+  EXPECT_EQ(h.fleet->gpu(0).spec().sm_count,
+            h.fleet->node(0).resolved().sm_count);
+
+  router.release(lp);
+  h.sim.run();
+  ASSERT_EQ(h.collector.job_trace().size(), 2u);
+  const auto slowed = h.collector.job_trace()[1].finish -
+                      h.collector.job_trace()[1].release;
+  // Kernel time doubles; launch/sync overheads are host-side constants and
+  // stay, so the end-to-end ratio lands between 1 and 2.
+  const double ratio = static_cast<double>(slowed) /
+                       static_cast<double>(baseline);
+  EXPECT_GT(ratio, 1.15);
+  EXPECT_LT(ratio, 2.05);
+
+  // Restoring the scale restores the original timing exactly.
+  h.fleet->slow_gpu_now(0, 2.0);
+  router.release(lp);
+  h.sim.run();
+  ASSERT_EQ(h.collector.job_trace().size(), 3u);
+  EXPECT_EQ(h.collector.job_trace()[2].finish -
+                h.collector.job_trace()[2].release,
+            baseline);
+}
+
+TEST(FleetFaults, RunnerReseedsAfetForTheSlowedDevice) {
+  // Through the experiment runner, a mid-run slowdown re-profiles AFET
+  // against the resolved spec, so admission keeps rejecting what the
+  // slowed device can no longer serve instead of overcommitting it: HP
+  // work stays on time even with half the fleet's compute gone.
+  exp::ClusterConfig cfg;
+  cfg.taskset = workload::mixed_taskset();
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 6;
+  cfg.sched.oversubscription = 6.0;
+  cfg.num_gpus = 2;
+  cfg.routing = RoutingPolicy::kLeastUtilization;
+  cfg.duration_s = 1.5;
+  cfg.warmup_s = 0.25;
+  exp::FaultSpec f;
+  f.kind = exp::FaultSpec::Kind::kSlow;
+  f.gpu = 0;
+  f.at_s = 0.5;
+  f.factor = 0.5;
+  cfg.faults.push_back(f);
+
+  const exp::ClusterResult r = exp::run_cluster(cfg);
+  EXPECT_GT(r.hp.completed, 0u);
+  EXPECT_EQ(r.hp.missed, 0u);
+  EXPECT_EQ(r.jobs_lost, 0u);
+  ASSERT_EQ(r.per_gpu.size(), 2u);
+  // The slowed device ranks busier per unit of work, so it ends up serving
+  // less than the healthy one.
+  EXPECT_LT(r.per_gpu[0].completed, r.per_gpu[1].completed);
+}
+
+// --- autoscaling ----------------------------------------------------------
+
+TEST(FleetFaults, AddedGpuJoinsTheFleetAndTakesPlacements) {
+  Harness h(2);
+  const int a = h.add_task(Priority::kLow, 3000.0, 0);
+  const int b = h.add_task(Priority::kLow, 3000.0, 1);
+  const int c = h.add_task(Priority::kLow, 3000.0, 0);
+  h.fleet->run_offline_phase();
+
+  const int g = h.fleet->add_gpu_now(GpuNodeSpec{});
+  EXPECT_EQ(g, 2);
+  EXPECT_EQ(h.fleet->size(), 3);
+  EXPECT_EQ(h.fleet->placeable_count(), 3);
+  // Every registered task exists on the new scheduler under its fleet id.
+  EXPECT_EQ(h.fleet->scheduler(g).task_count(), 3);
+  h.fleet->set_afet(a, g, std::vector<double>(h.model->stage_count(), 1000.0));
+  h.fleet->set_afet(b, g, std::vector<double>(h.model->stage_count(), 1000.0));
+  h.fleet->set_afet(c, g, std::vector<double>(h.model->stage_count(), 1000.0));
+  h.fleet->run_offline_phase(g);
+
+  // The collector's routing counters grew in place.
+  EXPECT_EQ(h.collector.gpu_count(), 3);
+
+  Router router(*h.fleet, RoutingPolicy::kLeastUtilization, 1, &h.collector);
+  router.release(a);  // GPU 0, 1, and 2 idle: ties break to 0
+  router.release(b);
+  router.release(c);  // both incumbents loaded: the new device must win
+  EXPECT_EQ(h.collector.routing(2).routed, 1u);
+  EXPECT_EQ(h.fleet->scheduler(2).jobs_in_flight(), 1u);
+}
+
+// --- determinism ----------------------------------------------------------
+
+bool identical(const exp::ClusterResult& a, const exp::ClusterResult& b) {
+  if (a.per_gpu.size() != b.per_gpu.size()) return false;
+  for (std::size_t g = 0; g < a.per_gpu.size(); ++g) {
+    if (a.per_gpu[g].completed != b.per_gpu[g].completed) return false;
+  }
+  return a.total_jps == b.total_jps && a.hp.completed == b.hp.completed &&
+         a.lp.completed == b.lp.completed && a.hp.missed == b.hp.missed &&
+         a.lp.missed == b.lp.missed &&
+         a.cross_gpu_migrations == b.cross_gpu_migrations &&
+         a.drops == b.drops && a.transfers == b.transfers &&
+         a.transferred_mb == b.transferred_mb &&
+         a.infeasible_rejects == b.infeasible_rejects &&
+         a.intra_gpu_migrations == b.intra_gpu_migrations &&
+         a.arrivals == b.arrivals && a.jobs_lost == b.jobs_lost &&
+         a.unmatched_rows == b.unmatched_rows;
+}
+
+TEST(FleetFaults, FaultScheduleRunsBitIdentically) {
+  // A full fault timeline — straggler, fail-stop, scale-up, drain — under
+  // open-loop arrivals, run twice: every counter must match exactly.
+  exp::ClusterConfig cfg;
+  cfg.taskset = workload::mixed_taskset();
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 6;
+  cfg.sched.oversubscription = 6.0;
+  cfg.num_gpus = 2;
+  cfg.routing = RoutingPolicy::kHybrid;
+  cfg.arrivals = exp::ArrivalMode::kPoisson;
+  cfg.duration_s = 1.5;
+  cfg.warmup_s = 0.25;
+
+  exp::FaultSpec slow;
+  slow.kind = exp::FaultSpec::Kind::kSlow;
+  slow.gpu = 0;
+  slow.at_s = 0.4;
+  slow.factor = 0.5;
+  exp::FaultSpec add;
+  add.kind = exp::FaultSpec::Kind::kAdd;
+  add.at_s = 0.6;
+  exp::FaultSpec fail;
+  fail.kind = exp::FaultSpec::Kind::kFail;
+  fail.gpu = 1;
+  fail.at_s = 0.8;
+  exp::FaultSpec drain;
+  drain.kind = exp::FaultSpec::Kind::kDrain;
+  drain.gpu = 0;
+  drain.at_s = 1.0;
+  cfg.faults = {slow, add, fail, drain};
+
+  const exp::ClusterResult a = exp::run_cluster(cfg);
+  const exp::ClusterResult b = exp::run_cluster(cfg);
+  EXPECT_TRUE(identical(a, b));
+  EXPECT_GT(a.jobs_lost, 0u);        // the fail-stop shed something
+  EXPECT_GT(a.hp.completed, 0u);     // the fleet kept serving throughout
+  ASSERT_EQ(a.per_gpu.size(), 3u);   // the added device is reported
+  EXPECT_GT(a.per_gpu[2].completed, 0u);
+}
+
+}  // namespace
+}  // namespace daris::cluster

@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/taskset.h"
+#include "workload/trace.h"
 
 namespace {
 std::size_t g_allocations = 0;
@@ -122,6 +125,60 @@ TEST(SimulatorAlloc, ClockworkShapedCaptureStaysInline) {
   EXPECT_EQ(after - before, 0u)
       << "a packed <=48-byte completion context must not allocate";
   EXPECT_EQ(state.completed, 2u * kBurst);
+}
+
+// The release drivers' fire paths capture {this, task_id} (<= 16 bytes) and
+// re-arm a pooled event in place, so steady-state arrival generation rides
+// the inline path: after the first event warms the pool, the rest of an
+// open-loop run performs zero heap allocations.
+TEST(SimulatorAlloc, OpenLoopDriverSteadyStateDoesNotAllocate) {
+  using namespace daris;
+  const workload::TaskSetSpec taskset = workload::mixed_taskset();
+  Simulator sim;
+  std::uint64_t released = 0;
+  workload::OpenLoopDriver driver(
+      sim, taskset, [&released](int) { ++released; },
+      common::from_sec(2.0));
+  driver.start();
+  sim.run_until(common::from_ms(100.0));  // warm-up sizes pool and heap
+  ASSERT_GT(released, 0u);
+  const std::size_t before = g_allocations;
+  sim.run_until(common::from_sec(2.0));
+  sim.run();
+  const std::size_t after = g_allocations;
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state open-loop arrivals must not allocate";
+  EXPECT_GT(driver.arrivals(), 1000u);
+}
+
+// Trace replay walks a single re-armed event down the preloaded row list:
+// after the first release, the whole replay allocates nothing.
+TEST(SimulatorAlloc, TraceDriverSteadyStateDoesNotAllocate) {
+  using namespace daris;
+  const workload::TaskSetSpec taskset = workload::mixed_taskset();
+  workload::TraceGenConfig cfg;
+  cfg.duration_s = 2.0;
+  cfg.mean_rate_jps = 1000.0;
+  const workload::Trace trace =
+      workload::generate_trace(workload::trace_mix(taskset), cfg);
+  ASSERT_GT(trace.rows.size(), 1000u);
+
+  Simulator sim;
+  std::uint64_t released = 0;
+  workload::TraceDriver driver(
+      sim, taskset, trace, [&released](int) { ++released; },
+      common::from_sec(2.0));
+  driver.start();
+  sim.run_until(common::from_ms(100.0));
+  ASSERT_GT(released, 0u);
+  const std::size_t before = g_allocations;
+  sim.run_until(common::from_sec(2.0));
+  sim.run();
+  const std::size_t after = g_allocations;
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state trace replay must not allocate";
+  EXPECT_EQ(driver.arrivals(), trace.rows.size());
+  EXPECT_EQ(driver.unmatched(), 0u);
 }
 
 TEST(SimulatorAlloc, OversizedCapturesFallBackToTheHeap) {
