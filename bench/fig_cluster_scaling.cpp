@@ -18,6 +18,7 @@
 //
 // docs/CLUSTER.md is the routing-policy guide behind these tables.
 #include <cstdio>
+#include <utility>
 
 #include "common/table.h"
 #include "experiments/cluster_runner.h"
@@ -217,9 +218,11 @@ int main() {
         node.compute_scale = scale;
         cfg.nodes.push_back(node);
       }
-      const exp::ClusterResult r = exp::run_cluster(cfg);
+      exp::ClusterResult r = exp::run_cluster(cfg);
       add_policy_row(het, cluster::routing_policy_name(policy), r);
-      if (policy == cluster::RoutingPolicy::kHybrid) hybrid_result = r;
+      if (policy == cluster::RoutingPolicy::kHybrid) {
+        hybrid_result = std::move(r);
+      }
     }
     std::printf("%s\n", het.to_string().c_str());
 

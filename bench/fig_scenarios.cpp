@@ -1,18 +1,32 @@
 // Scenario matrix behaviour gate: runs every named production scenario
 // (overload storm, fail-stop mid-burst, straggler, drain + autoscale,
 // diurnal trace replay, flash crowd), evaluates the committed thresholds on
-// the scheduling outcomes, and re-runs each scenario to prove the behaviour
-// digest is bit-identical. scripts/check_scenarios.py consumes the --json
-// output in CI; docs/SCENARIOS.md is the catalogue.
+// the scheduling outcomes, and proves three run-to-run contracts:
 //
-// Exit status: 0 when every check passes and every scenario is
-// deterministic, 1 otherwise.
+//  - deterministic: the same scenario run again in the same process yields
+//    a bit-identical behaviour digest;
+//  - telemetry deterministic: the telemetry capture (sampler series + event
+//    log) is itself bit-identical across the repeat, certified by its FNV
+//    digest;
+//  - telemetry inert: a run with telemetry disabled yields the same
+//    behaviour digest as the telemetry-enabled runs — observation does not
+//    perturb the simulation.
+//
+// scripts/check_scenarios.py and scripts/check_telemetry.py consume the
+// --json report and the --telemetry artifacts in CI; docs/SCENARIOS.md and
+// docs/OBSERVABILITY.md are the catalogues.
+//
+// Exit status: 0 when every check passes and every contract holds, 1
+// otherwise.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/log.h"
 #include "common/table.h"
 #include "experiments/scenarios.h"
 
@@ -41,19 +55,33 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void write_json(std::ostream& os,
-                const std::vector<exp::ScenarioResult>& results,
-                const std::vector<bool>& deterministic) {
+struct ScenarioRow {
+  exp::ScenarioResult result;
+  bool deterministic = false;        // behaviour digest repeats
+  bool telemetry_deterministic = false;  // telemetry digest repeats
+  bool telemetry_inert = false;      // telemetry-off digest matches
+};
+
+void write_json(std::ostream& os, const std::vector<ScenarioRow>& rows) {
   os << "{\n  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& r = row.result;
+    char digest[32];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(r.telemetry_digest));
     os << "    {\n"
        << "      \"name\": \"" << json_escape(r.name) << "\",\n"
        << "      \"description\": \"" << json_escape(r.description)
        << "\",\n"
        << "      \"pass\": " << (r.pass ? "true" : "false") << ",\n"
        << "      \"deterministic\": "
-       << (deterministic[i] ? "true" : "false") << ",\n"
+       << (row.deterministic ? "true" : "false") << ",\n"
+       << "      \"telemetry_deterministic\": "
+       << (row.telemetry_deterministic ? "true" : "false") << ",\n"
+       << "      \"telemetry_inert\": "
+       << (row.telemetry_inert ? "true" : "false") << ",\n"
+       << "      \"telemetry_digest\": \"" << digest << "\",\n"
        << "      \"fingerprint\": \"" << json_escape(r.fingerprint)
        << "\",\n";
     os << "      \"metrics\": {";
@@ -77,9 +105,30 @@ void write_json(std::ostream& os,
          << ", \"pass\": " << (c.pass ? "true" : "false") << "}"
          << (j + 1 < r.checks.size() ? ",\n" : "\n");
     }
-    os << "      ]\n    }" << (i + 1 < results.size() ? ",\n" : "\n");
+    os << "      ]\n    }" << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   os << "  ]\n}\n";
+}
+
+bool parse_log_level(const std::string& name, common::LogLevel* out) {
+  if (name == "trace") *out = common::LogLevel::kTrace;
+  else if (name == "debug") *out = common::LogLevel::kDebug;
+  else if (name == "info") *out = common::LogLevel::kInfo;
+  else if (name == "warn") *out = common::LogLevel::kWarn;
+  else if (name == "error") *out = common::LogLevel::kError;
+  else if (name == "off") *out = common::LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << content;
+  return true;
 }
 
 }  // namespace
@@ -87,6 +136,8 @@ void write_json(std::ostream& os,
 int main(int argc, char** argv) {
   std::string data_dir = default_data_dir();
   std::string json_path;
+  std::string telemetry_dir;
+  bool show_profile = false;
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,9 +152,24 @@ int main(int argc, char** argv) {
       data_dir = value();
     } else if (arg == "--json") {
       json_path = value();
+    } else if (arg == "--telemetry") {
+      telemetry_dir = value();
+    } else if (arg == "--profile") {
+      show_profile = true;
+    } else if (arg == "--log") {
+      // Fleet fault/rehome paths narrate at info (docs/OBSERVABILITY.md);
+      // the default warn threshold keeps the table output clean.
+      common::LogLevel level = common::LogLevel::kWarn;
+      if (!parse_log_level(value(), &level)) {
+        std::fprintf(stderr,
+                     "--log wants trace|debug|info|warn|error|off\n");
+        return 2;
+      }
+      common::set_log_level(level);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--data-dir DIR] [--json FILE] [SCENARIO]...\n",
+          "usage: %s [--data-dir DIR] [--json FILE] [--telemetry DIR] "
+          "[--profile] [--log LEVEL] [SCENARIO]...\n",
           argv[0]);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -117,16 +183,26 @@ int main(int argc, char** argv) {
 
   std::printf("== Scenario matrix: behaviour thresholds ==\n\n");
 
-  std::vector<exp::ScenarioResult> results;
-  std::vector<bool> deterministic;
+  std::vector<ScenarioRow> rows;
   bool all_pass = true;
+  bool artifacts_ok = true;
 
+  const exp::ScenarioTelemetry topts;
   for (const auto& name : wanted) {
-    exp::ScenarioResult r = exp::run_scenario(name, data_dir);
-    // Determinism is part of the contract: the same scenario run again in
-    // the same process must produce the same behaviour digest.
-    const exp::ScenarioResult again = exp::run_scenario(name, data_dir);
-    const bool same = r.fingerprint == again.fingerprint;
+    ScenarioRow row;
+    row.result = exp::run_scenario(name, data_dir, &topts);
+    exp::ScenarioResult& r = row.result;
+    // Run-to-run contracts: the behaviour digest AND the telemetry capture
+    // must repeat bit-identically, and disabling telemetry must not move
+    // the behaviour digest (observation is inert).
+    const exp::ScenarioResult again = exp::run_scenario(name, data_dir, &topts);
+    const exp::ScenarioResult bare = exp::run_scenario(name, data_dir);
+    row.deterministic = r.fingerprint == again.fingerprint;
+    // The digest covers the full series/events/fingerprint content; the
+    // telemetry JSON itself also embeds host wall-clock (profile), which is
+    // legitimately run-dependent, so the digest is the comparison.
+    row.telemetry_deterministic = r.telemetry_digest == again.telemetry_digest;
+    row.telemetry_inert = r.fingerprint == bare.fingerprint;
 
     std::printf("-- %s: %s\n", r.name.c_str(), r.description.c_str());
     common::Table table({"check", "value", "limit", "status"});
@@ -136,15 +212,35 @@ int main(int argc, char** argv) {
                      common::fmt_double(c.limit, 4),
                      c.pass ? "PASS" : "FAIL"});
     }
-    table.add_row({"deterministic", same ? "yes" : "no", "yes",
-                   same ? "PASS" : "FAIL"});
+    table.add_row({"deterministic", row.deterministic ? "yes" : "no", "yes",
+                   row.deterministic ? "PASS" : "FAIL"});
+    table.add_row({"telemetry deterministic",
+                   row.telemetry_deterministic ? "yes" : "no", "yes",
+                   row.telemetry_deterministic ? "PASS" : "FAIL"});
+    table.add_row({"telemetry inert", row.telemetry_inert ? "yes" : "no",
+                   "yes", row.telemetry_inert ? "PASS" : "FAIL"});
     std::printf("%s", table.to_string().c_str());
-    std::printf("   %s: %s\n\n", r.name.c_str(),
-                r.pass && same ? "PASS" : "FAIL");
+    const bool ok = r.pass && row.deterministic &&
+                    row.telemetry_deterministic && row.telemetry_inert;
+    std::printf("   %s: %s\n\n", r.name.c_str(), ok ? "PASS" : "FAIL");
+    if (show_profile) {
+      std::printf("%s\n", r.cluster.profile.to_string().c_str());
+    }
 
-    all_pass = all_pass && r.pass && same;
-    results.push_back(std::move(r));
-    deterministic.push_back(same);
+    if (!telemetry_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(telemetry_dir, ec);
+      artifacts_ok =
+          write_file(telemetry_dir + "/" + r.name + ".telemetry.json",
+                     r.telemetry_json) &&
+          artifacts_ok;
+      artifacts_ok = write_file(telemetry_dir + "/" + r.name + ".trace.json",
+                                r.perfetto_json) &&
+                     artifacts_ok;
+    }
+
+    all_pass = all_pass && ok;
+    rows.push_back(std::move(row));
   }
 
   if (!json_path.empty()) {
@@ -153,11 +249,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    write_json(os, results, deterministic);
+    write_json(os, rows);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!telemetry_dir.empty() && artifacts_ok) {
+    std::printf("wrote telemetry artifacts to %s\n", telemetry_dir.c_str());
   }
 
   std::printf("scenario matrix: %s (%zu scenarios)\n",
-              all_pass ? "PASS" : "FAIL", results.size());
-  return all_pass ? 0 : 1;
+              all_pass ? "PASS" : "FAIL", rows.size());
+  return all_pass && artifacts_ok ? 0 : 1;
 }

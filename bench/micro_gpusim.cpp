@@ -5,6 +5,9 @@
 // BENCH_micro_gpusim.json (see main below) to track the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "dnn/zoo.h"
 #include "experiments/cluster_runner.h"
 #include "gpusim/gpu.h"
@@ -165,6 +168,35 @@ void BM_ClusterFleetOpenLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(jobs));
 }
 
+/// Embeds the self-profiler counters from a small deterministic fleet run
+/// into the JSON context block, so the perf trajectory carries the
+/// simulator's internal shape (event volume, callback inlining, solver
+/// cache hits) alongside the wall-clock numbers.
+void add_profile_context() {
+  exp::ClusterConfig cfg;
+  cfg.taskset = workload::replicated_taskset(workload::mixed_taskset(), 4);
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 6;
+  cfg.sched.oversubscription = 6.0;
+  cfg.num_gpus = 4;
+  cfg.routing = cluster::RoutingPolicy::kLeastUtilization;
+  cfg.arrivals = exp::ArrivalMode::kPoisson;
+  cfg.duration_s = 0.5;
+  const exp::ClusterResult probe = exp::run_cluster(cfg);
+  const metrics::RunProfile& p = probe.profile;
+  benchmark::AddCustomContext("profile_events_executed",
+                              std::to_string(p.events_executed));
+  benchmark::AddCustomContext("profile_heap_high_water",
+                              std::to_string(p.heap_high_water));
+  benchmark::AddCustomContext("profile_pool_slots",
+                              std::to_string(p.pool_slots));
+  char rate[32];
+  std::snprintf(rate, sizeof rate, "%.4f", p.inline_rate());
+  benchmark::AddCustomContext("profile_inline_rate", rate);
+  std::snprintf(rate, sizeof rate, "%.4f", p.dirty_hit_rate());
+  benchmark::AddCustomContext("profile_dirty_hit_rate", rate);
+}
+
 }  // namespace
 
 BENCHMARK(BM_GpuFluidExecutor)
@@ -184,6 +216,7 @@ BENCHMARK(BM_EventQueueReschedule)->Arg(1000)->Arg(100000);
 BENCHMARK(BM_ClusterFleetOpenLoop)->Arg(8)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  add_profile_context();
   return daris::bench::run_benchmarks_with_json_out(argc, argv,
                                                     "BENCH_micro_gpusim.json");
 }

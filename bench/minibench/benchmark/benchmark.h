@@ -38,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace benchmark {
@@ -114,6 +115,12 @@ struct Flags {
 inline Flags& flags() {
   static Flags f;
   return f;
+}
+
+/// Extra key/value pairs for the JSON `context` block (AddCustomContext).
+inline std::vector<std::pair<std::string, std::string>>& custom_context() {
+  static std::vector<std::pair<std::string, std::string>> ctx;
+  return ctx;
 }
 
 }  // namespace internal
@@ -326,9 +333,12 @@ inline void write_json(const std::vector<Result>& results, const char* argv0) {
                "    \"executable\": \"%s\",\n"
                "    \"num_cpus\": %ld,\n"
                "    \"harness\": \"minibench\",\n"
-               "    \"library_build_type\": \"%s\"\n"
-               "  },\n  \"benchmarks\": [\n",
+               "    \"library_build_type\": \"%s\"",
                date, host, argv0, sysconf(_SC_NPROCESSORS_ONLN), build_type);
+  for (const auto& [key, value] : custom_context()) {
+    std::fprintf(f, ",\n    \"%s\": \"%s\"", key.c_str(), value.c_str());
+  }
+  std::fprintf(f, "\n  },\n  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(f,
@@ -367,6 +377,13 @@ inline const char*& stored_argv0() {
 }
 
 }  // namespace internal
+
+/// Adds a key/value pair to the JSON report's `context` block (same API and
+/// placement as google-benchmark). Call before RunSpecifiedBenchmarks().
+inline void AddCustomContext(const std::string& key,
+                             const std::string& value) {
+  internal::custom_context().emplace_back(key, value);
+}
 
 inline void Initialize(int* argc, char** argv) {
   if (*argc > 0) internal::stored_argv0() = argv[0];

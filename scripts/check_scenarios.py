@@ -3,7 +3,7 @@
 
 Usage:
     scripts/check_scenarios.py --bench build/bench_fig_scenarios \
-        [--data-dir tests/data] [--json OUT.json]
+        [--data-dir tests/data] [--json OUT.json] [--telemetry DIR]
     scripts/check_scenarios.py --json build/scenarios.json
 
 With --bench the scenario driver is executed (writing its JSON report to
@@ -33,10 +33,12 @@ def load(path):
         return json.load(f)
 
 
-def run_bench(bench, data_dir, json_path):
+def run_bench(bench, data_dir, json_path, telemetry_dir=None):
     cmd = [bench, "--json", json_path]
     if data_dir:
         cmd += ["--data-dir", data_dir]
+    if telemetry_dir:
+        cmd += ["--telemetry", telemetry_dir]
     # The driver's own exit status is ignored here; the gate re-derives
     # pass/fail from the JSON so the two can never disagree silently.
     proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -55,6 +57,9 @@ def main():
     parser.add_argument("--data-dir", help="trace fixture directory")
     parser.add_argument("--json", help="JSON report path (read, or written "
                         "by --bench)")
+    parser.add_argument("--telemetry", help="with --bench: directory for the "
+                        "per-scenario telemetry + Perfetto artifacts "
+                        "(validated separately by check_telemetry.py)")
     args = parser.parse_args()
 
     if not args.bench and not args.json:
@@ -67,7 +72,8 @@ def main():
             tmp = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
             tmp.close()
             json_path = tmp.name
-        if not run_bench(args.bench, args.data_dir, json_path):
+        if not run_bench(args.bench, args.data_dir, json_path,
+                         args.telemetry):
             return 1
 
     doc = load(json_path)

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Telemetry gate over the scenario matrix (docs/OBSERVABILITY.md).
+
+Usage:
+    scripts/check_telemetry.py --json build/scenarios.json \
+        --telemetry-dir build/telemetry
+
+Validates, for every scenario in the bench_fig_scenarios JSON report:
+
+  - telemetry_deterministic: the telemetry capture (sampler series + event
+    log) repeated bit-identically across the driver's built-in re-run;
+  - telemetry_inert: a telemetry-disabled run produced the same behaviour
+    fingerprint — observation must not perturb the simulation;
+  - the per-scenario telemetry artifact (<name>.telemetry.json) parses,
+    matches the schema, carries the digest the report claims, has at least
+    one track with monotonically increasing timestamps, and a profile with
+    non-zero event counts;
+  - the per-scenario Perfetto trace (<name>.trace.json) parses as a JSON
+    array and contains all three phase types: "X" (spans), "C" (counters),
+    and "i" (instants).
+
+The gate is strict: the simulator is deterministic, so any mismatch is a
+real regression, not machine noise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TELEMETRY_KEYS = {"scenario", "sample_period_us", "digest", "fingerprint",
+                  "timeseries", "events", "profile"}
+PROFILE_KEYS = {"events_executed", "callbacks_inline", "callbacks_heap",
+                "heap_high_water", "pool_slots", "solver_flushes",
+                "solver_contexts_solved", "solver_contexts_reused",
+                "dirty_hit_rate", "wall_ms_offline", "wall_ms_run",
+                "wall_ms_total"}
+EVENT_KEYS = {"ts_us", "kind", "cause", "gpu", "peer", "task", "value"}
+
+
+def check_telemetry_file(path, name, report_digest, failures):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        failures.append(f"{name}: telemetry artifact unreadable: {e}")
+        return
+
+    missing = TELEMETRY_KEYS - set(doc)
+    if missing:
+        failures.append(f"{name}: telemetry JSON missing keys {sorted(missing)}")
+        return
+    if doc["scenario"] != name:
+        failures.append(f"{name}: artifact names scenario {doc['scenario']!r}")
+    if report_digest and doc["digest"] != report_digest:
+        failures.append(
+            f"{name}: artifact digest {doc['digest']} != report digest "
+            f"{report_digest} — artifact is from a different run")
+
+    ts = doc["timeseries"]
+    tracks = ts.get("tracks", [])
+    if not tracks:
+        failures.append(f"{name}: telemetry has no sampler tracks")
+    if ts.get("period_us", 0) <= 0:
+        failures.append(f"{name}: non-positive sample period")
+    for track in tracks:
+        stamps = [s[0] for s in track.get("samples", [])]
+        if not stamps:
+            failures.append(
+                f"{name}: track {track.get('name')!r} (device "
+                f"{track.get('device')}) has no samples")
+            break
+        if any(b < a for a, b in zip(stamps, stamps[1:])):
+            failures.append(
+                f"{name}: track {track.get('name')!r} timestamps not "
+                "monotonically increasing")
+            break
+
+    for ev in doc["events"]:
+        missing = EVENT_KEYS - set(ev)
+        if missing:
+            failures.append(f"{name}: event record missing keys "
+                            f"{sorted(missing)}")
+            break
+
+    profile = doc["profile"]
+    missing = PROFILE_KEYS - set(profile)
+    if missing:
+        failures.append(f"{name}: profile missing keys {sorted(missing)}")
+    elif profile["events_executed"] <= 0:
+        failures.append(f"{name}: profile reports no events executed")
+
+
+def check_trace_file(path, name, failures):
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        failures.append(f"{name}: Perfetto trace unreadable: {e}")
+        return
+    if not isinstance(trace, list):
+        failures.append(f"{name}: Perfetto trace is not a JSON array")
+        return
+    phases = {ev.get("ph") for ev in trace}
+    for ph, what in (("X", "spans"), ("C", "counter samples"),
+                     ("i", "instant events")):
+        if ph not in phases:
+            failures.append(f"{name}: Perfetto trace has no \"{ph}\" {what}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", required=True,
+                        help="bench_fig_scenarios JSON report")
+    parser.add_argument("--telemetry-dir", required=True,
+                        help="directory holding <name>.telemetry.json and "
+                             "<name>.trace.json artifacts")
+    args = parser.parse_args()
+
+    with open(args.json) as f:
+        doc = json.load(f)
+    scenarios = doc.get("scenarios", [])
+
+    failures = []
+    if not scenarios:
+        failures.append("report holds no scenarios")
+
+    for s in scenarios:
+        name = s.get("name", "?")
+        if not s.get("telemetry_deterministic", False):
+            failures.append(
+                f"{name}: telemetry NOT bit-identical across repeat runs")
+        if not s.get("telemetry_inert", False):
+            failures.append(
+                f"{name}: telemetry PERTURBED the run (behaviour fingerprint "
+                "moved when telemetry was enabled)")
+        check_telemetry_file(
+            os.path.join(args.telemetry_dir, f"{name}.telemetry.json"),
+            name, s.get("telemetry_digest"), failures)
+        check_trace_file(
+            os.path.join(args.telemetry_dir, f"{name}.trace.json"),
+            name, failures)
+
+    print(f"{len(scenarios)} scenarios, "
+          f"{sum(1 for s in scenarios if s.get('telemetry_deterministic'))} "
+          "telemetry-deterministic, "
+          f"{sum(1 for s in scenarios if s.get('telemetry_inert'))} inert")
+
+    if failures:
+        print("\ntelemetry gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\ntelemetry gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/log.h"
 #include "common/rng.h"
+#include "metrics/eventlog.h"
 
 namespace daris::cluster {
 
@@ -183,6 +185,9 @@ void Fleet::rehome_tasks_from(int g) {
     scheduler(best).set_task_resident(t, true);
     home_[static_cast<std::size_t>(t)] = best;
     warm_model(best, t);
+    DARIS_LOG_INFO << "fleet: t=" << common::to_us(sim_.now())
+                   << "us rehome task " << t << " gpu " << g << " -> " << best;
+    if (collector_) collector_->log_rehome(sim_.now(), g, best, t);
   }
 }
 
@@ -197,6 +202,12 @@ std::size_t Fleet::fail_gpu_now(int g) {
   const std::size_t lost = scheduler(g).fail_all_jobs();
   jobs_lost_ += lost;
   gpu(g).halt();
+  DARIS_LOG_INFO << "fleet: t=" << common::to_us(sim_.now()) << "us gpu " << g
+                 << " fail-stop, " << lost << " in-flight jobs lost";
+  if (collector_) {
+    collector_->log_fault(sim_.now(), g, metrics::EventCause::kFailStop,
+                          static_cast<double>(lost));
+  }
   rehome_tasks_from(g);
   return lost;
 }
@@ -209,6 +220,13 @@ void Fleet::slow_gpu_now(int g, double factor) {
   assert(factor > 0.0);
   nodes_[static_cast<std::size_t>(g)].compute_scale *= factor;
   gpu(g).set_spec(nodes_[static_cast<std::size_t>(g)].resolved());
+  DARIS_LOG_INFO << "fleet: t=" << common::to_us(sim_.now()) << "us gpu " << g
+                 << " compute scale x" << factor << " -> "
+                 << nodes_[static_cast<std::size_t>(g)].compute_scale;
+  if (collector_) {
+    collector_->log_fault(sim_.now(), g, metrics::EventCause::kStraggler,
+                          factor);
+  }
 }
 
 void Fleet::slow_gpu(int g, double factor, common::Time when) {
@@ -219,6 +237,9 @@ void Fleet::drain_gpu_now(int g) {
   auto& h = health_[static_cast<std::size_t>(g)];
   if (h != GpuHealth::kHealthy) return;  // failed stays failed
   h = GpuHealth::kDraining;
+  DARIS_LOG_INFO << "fleet: t=" << common::to_us(sim_.now()) << "us gpu " << g
+                 << " draining (finishes in-flight work, no new placements)";
+  if (collector_) collector_->log_drain(sim_.now(), g);
   rehome_tasks_from(g);
 }
 
@@ -249,6 +270,13 @@ int Fleet::add_gpu_now(const GpuNodeSpec& node) {
         model_of_task_[static_cast<std::size_t>(t)]);
     (void)id;
     assert(id == t);
+  }
+  DARIS_LOG_INFO << "fleet: t=" << common::to_us(sim_.now()) << "us gpu " << g
+                 << " added (scale-up), compute scale "
+                 << node.compute_scale;
+  if (collector_) {
+    collector_->log_fault(sim_.now(), g, metrics::EventCause::kScaleUp,
+                          node.compute_scale);
   }
   return g;
 }

@@ -168,6 +168,11 @@ class Fleet {
     return memory_used_mb_[static_cast<std::size_t>(g)];
   }
 
+  /// Distinct models pinned hot on GPU g (telemetry gauge).
+  int hot_model_count(int g) const {
+    return static_cast<int>(hot_models_[static_cast<std::size_t>(g)].size());
+  }
+
   // --- fleet-level admission (feasibility) -------------------------------
 
   /// True when some device could host a job of the task at all: the model

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "metrics/eventlog.h"
+
 namespace daris::cluster {
 
 const char* routing_policy_name(RoutingPolicy p) {
@@ -142,6 +144,8 @@ void Router::release(int task_id) {
     if (collector_) {
       collector_->on_reject(ev);
       collector_->on_infeasible(home);
+      collector_->log_reject(released, home, task_id,
+                             metrics::EventCause::kInfeasible);
     }
     return;
   }
@@ -159,12 +163,17 @@ void Router::release(int task_id) {
     if (collector_) {
       collector_->on_reject(ev);
       collector_->on_drop(home);
+      collector_->log_reject(released, home, task_id,
+                             metrics::EventCause::kBacklog);
     }
     return;
   }
 
   if (fleet_.scheduler(home).release_job(task_id, /*report=*/false)) {
-    if (collector_) collector_->on_home_admit(home);
+    if (collector_) {
+      collector_->on_home_admit(home);
+      collector_->log_admit(released, home, task_id);
+    }
     return;
   }
 
@@ -189,15 +198,23 @@ void Router::migrate(int task_id, int from, int peer,
     const double mb = fleet_.transfer_mb(task_id);
     ++transfers_;
     transferred_mb_ += mb;
-    if (collector_) collector_->on_transfer(peer, mb);
+    if (collector_) {
+      collector_->on_transfer(peer, mb);
+      collector_->log_transfer(fleet_.simulator().now(), peer, task_id, mb);
+    }
     const common::Duration delay =
         common::from_us(mb * fleet_.transfer_us_per_mb());
     if (delay > 0) {
       ++pending_transfers_;
+      if (static_cast<std::size_t>(peer) >= pending_to_.size()) {
+        pending_to_.resize(static_cast<std::size_t>(peer) + 1, 0);
+      }
+      ++pending_to_[static_cast<std::size_t>(peer)];
       add_pending_job(task_id, 1);
       fleet_.simulator().schedule_after(
           delay, [this, task_id, from, peer, released] {
             --pending_transfers_;
+            --pending_to_[static_cast<std::size_t>(peer)];
             add_pending_job(task_id, -1);
             deliver(task_id, from, peer, released);
           });
@@ -223,7 +240,10 @@ void Router::deliver(int task_id, int from, int peer,
   if (fleet_.scheduler(peer).release_job(task_id, /*report=*/false,
                                          released)) {
     ++migrations_;
-    if (collector_) collector_->on_cross_migration(from, peer);
+    if (collector_) {
+      collector_->on_cross_migration(from, peer);
+      collector_->log_migrate(fleet_.simulator().now(), from, peer, task_id);
+    }
     return;
   }
   drop(task_id, from, released);
@@ -241,6 +261,8 @@ void Router::drop(int task_id, int gpu, common::Time released) {
   ev.gpu = gpu;
   collector_->on_reject(ev);
   collector_->on_drop(gpu);
+  collector_->log_reject(released, gpu, task_id,
+                         metrics::EventCause::kPeerReject);
 }
 
 int Router::pending_jobs(int task_id) const {

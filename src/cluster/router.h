@@ -93,6 +93,12 @@ class Router {
   /// Migrations whose weight transfer is still in flight.
   std::uint64_t pending_transfers() const { return pending_transfers_; }
 
+  /// In-flight weight transfers headed for GPU g (telemetry gauge).
+  int pending_transfers_to(int g) const {
+    const auto i = static_cast<std::size_t>(g);
+    return i < pending_to_.size() ? pending_to_[i] : 0;
+  }
+
  private:
   int pick(int task_id);
   /// Best-scoring GPU other than `exclude` (-1 when the fleet has one GPU).
@@ -122,6 +128,7 @@ class Router {
   std::uint64_t pending_transfers_ = 0;
   double transferred_mb_ = 0.0;
   std::vector<int> pending_jobs_;  // per task id
+  std::vector<int> pending_to_;    // in-flight transfers per target GPU
 };
 
 }  // namespace daris::cluster

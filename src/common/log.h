@@ -37,10 +37,16 @@ class LogLine {
 
 }  // namespace daris::common
 
+// Inverted condition + else so the macro is one statement: a user-side
+// `else` after `if (c) DARIS_LOG_X << ...;` binds to the user's `if`, not
+// to the filter branch.
 #define DARIS_LOG(level)                                       \
-  if (::daris::common::log_level() <= (level))                 \
-  ::daris::common::detail::LogLine(level)
+  if (::daris::common::log_level() > (level))                  \
+    ;                                                          \
+  else                                                         \
+    ::daris::common::detail::LogLine(level)
 
+#define DARIS_LOG_TRACE DARIS_LOG(::daris::common::LogLevel::kTrace)
 #define DARIS_LOG_DEBUG DARIS_LOG(::daris::common::LogLevel::kDebug)
 #define DARIS_LOG_INFO DARIS_LOG(::daris::common::LogLevel::kInfo)
 #define DARIS_LOG_WARN DARIS_LOG(::daris::common::LogLevel::kWarn)

@@ -326,6 +326,7 @@ void Scheduler::enqueue_stage(Job* job, std::size_t stage, bool prev_missed) {
   rs.deadline = config_.staging ? job->stage_deadlines[stage]
                                 : job->absolute_deadline;
   contexts_[static_cast<std::size_t>(job->context)].ready.push(rs);
+  ++ready_stages_[static_cast<std::size_t>(t.spec().priority)];
 }
 
 void Scheduler::try_dispatch(int ctx) {
@@ -339,7 +340,9 @@ void Scheduler::try_dispatch(int ctx) {
       }
     }
     if (idle < 0) return;
-    dispatch(ctx, idle, rec.ready.pop());
+    const ReadyStage next = rec.ready.pop();
+    --ready_stages_[static_cast<std::size_t>(next.job->task->spec().priority)];
+    dispatch(ctx, idle, next);
   }
 }
 
@@ -545,6 +548,8 @@ std::size_t Scheduler::fail_all_jobs() {
     std::fill(rec.stream_busy.begin(), rec.stream_busy.end(), false);
     rec.outstanding_work_us = 0.0;
   }
+  ready_stages_[0] = 0;
+  ready_stages_[1] = 0;
   return ids.size();
 }
 

@@ -92,6 +92,13 @@ class Scheduler {
   /// Jobs currently admitted but unfinished.
   std::size_t jobs_in_flight() const { return jobs_.size(); }
 
+  /// Stages sitting in the ready queues (all contexts) for one priority
+  /// class — a telemetry gauge of host-side queueing pressure. Always 0 in
+  /// "No Staging" mode, where admitted jobs bypass the ready queues.
+  int ready_stages(common::Priority p) const {
+    return ready_stages_[static_cast<std::size_t>(p)];
+  }
+
   /// Completed-job counter (all priorities, includes warm-up).
   std::uint64_t jobs_completed() const { return jobs_completed_; }
 
@@ -180,6 +187,7 @@ class Scheduler {
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
   std::uint64_t migrations_ = 0;
+  int ready_stages_[2] = {0, 0};  // queued ready stages per priority class
   int device_id_ = -1;
   bool failed_ = false;
 };

@@ -1,6 +1,7 @@
 #include "experiments/cluster_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -146,11 +147,20 @@ bool same_spec(const gpusim::GpuSpec& a, const gpusim::GpuSpec& b) {
 }  // namespace
 
 ClusterResult run_cluster(const ClusterConfig& config) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto wall_ms_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
   sim::Simulator sim;
 
   metrics::Collector collector;
   collector.set_measure_start(common::from_sec(config.warmup_s));
   collector.enable_stage_trace(config.stage_trace);
+  if (config.telemetry.enabled) {
+    collector.enable_event_log(config.telemetry.event_capacity);
+  }
 
   rt::SchedulerConfig sched_cfg = config.sched;
   sched_cfg.canonicalize();
@@ -241,6 +251,7 @@ ClusterResult run_cluster(const ClusterConfig& config) {
 
   // Offline phase 2: Algorithm 1 initial context assignment, per GPU.
   fleet.run_offline_phase();
+  const double wall_ms_offline = wall_ms_since(wall_start);
 
   cluster::RouterConfig router_cfg;
   router_cfg.policy = config.routing;
@@ -313,7 +324,84 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     }
   }
 
+  // Telemetry sampler: tracks registered up front for every device the run
+  // can ever hold (initial fleet + scheduled kAdd scale-ups; probes for a
+  // device not online yet read 0), so mid-run autoscaling needs no
+  // allocation. Registered after the fault schedule so the sampler's single
+  // t=0 event is the last sequence draw of setup; probes are const reads
+  // and the tick touches only the sampler's rings, so the run's scheduling
+  // decisions are identical with telemetry on or off.
+  metrics::TimeSeries series;
+  if (config.telemetry.enabled) {
+    int max_gpus = fleet.size();
+    for (const FaultSpec& f : config.faults) {
+      if (f.kind == FaultSpec::Kind::kAdd) ++max_gpus;
+    }
+    auto online = [&fleet](int g) { return g < fleet.size(); };
+    for (int g = 0; g < max_gpus; ++g) {
+      series.add_track("gpu/util", g, [&fleet, online, g] {
+        return online(g) ? fleet.scheduler(g).active_utilization() : 0.0;
+      });
+      series.add_track("gpu/queue_hp", g, [&fleet, online, g] {
+        return online(g) ? static_cast<double>(fleet.scheduler(g).ready_stages(
+                               common::Priority::kHigh))
+                         : 0.0;
+      });
+      series.add_track("gpu/queue_lp", g, [&fleet, online, g] {
+        return online(g) ? static_cast<double>(fleet.scheduler(g).ready_stages(
+                               common::Priority::kLow))
+                         : 0.0;
+      });
+      series.add_track("gpu/hot_models", g, [&fleet, online, g] {
+        return online(g) ? static_cast<double>(fleet.hot_model_count(g)) : 0.0;
+      });
+      series.add_track("gpu/transfers_in", g, [&router, g] {
+        return static_cast<double>(router.pending_transfers_to(g));
+      });
+      series.add_track("gpu/health", g, [&fleet, online, g] {
+        return online(g) ? static_cast<double>(
+                               static_cast<int>(fleet.health(g)))
+                         : static_cast<double>(
+                               static_cast<int>(cluster::GpuHealth::kFailed));
+      });
+    }
+    series.add_track("fleet/backlog", -1, [&fleet] {
+      double sum = 0.0;
+      for (int g = 0; g < fleet.size(); ++g) {
+        sum += static_cast<double>(fleet.scheduler(g).jobs_in_flight());
+      }
+      return sum;
+    });
+    // Windowed DMR: misses over completions since the previous tick. The
+    // window state lives inside the probe closure — sampler-owned, not
+    // simulation state.
+    auto windowed_dmr = [&collector](common::Priority p) {
+      return [&collector, p, last_missed = std::uint64_t{0},
+              last_completed = std::uint64_t{0}]() mutable {
+        const metrics::ClassSummary& s = collector.summary(p);
+        const std::uint64_t dm = s.missed - last_missed;
+        const std::uint64_t dc = s.completed - last_completed;
+        last_missed = s.missed;
+        last_completed = s.completed;
+        return dc == 0 ? 0.0
+                       : static_cast<double>(dm) / static_cast<double>(dc);
+      };
+    };
+    series.add_track("fleet/hp_dmr_w", -1,
+                     windowed_dmr(common::Priority::kHigh));
+    series.add_track("fleet/lp_dmr_w", -1,
+                     windowed_dmr(common::Priority::kLow));
+    series.add_track("fleet/jobs_lost", -1, [&fleet] {
+      return static_cast<double>(fleet.jobs_lost());
+    });
+    series.start(sim, common::from_sec(config.telemetry.sample_period_s),
+                 horizon);
+  }
+
+  const auto wall_run_start = std::chrono::steady_clock::now();
   sim.run_until(horizon);
+  const double wall_ms_run = wall_ms_since(wall_run_start);
+  series.stop();
 
   ClusterResult result;
   result.total_jps = collector.throughput_jps(horizon);
@@ -339,6 +427,29 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     s.routing = collector.routing(g);
   }
   result.stage_trace = collector.stage_trace();
+
+  if (config.telemetry.enabled) {
+    result.timeseries = std::move(series);
+    if (collector.event_log() != nullptr) {
+      result.events = std::move(*collector.event_log());
+    }
+  }
+
+  const sim::Simulator::Stats sstats = sim.stats();
+  result.profile.events_executed = sstats.events_executed;
+  result.profile.callbacks_inline = sstats.callbacks_inline;
+  result.profile.callbacks_heap = sstats.callbacks_heap;
+  result.profile.heap_high_water = sstats.heap_high_water;
+  result.profile.pool_slots = sstats.pool_slots;
+  for (int g = 0; g < fleet.size(); ++g) {
+    const gpusim::Gpu::SolverStats& ss = fleet.gpu(g).solver_stats();
+    result.profile.solver_flushes += ss.flushes;
+    result.profile.solver_contexts_solved += ss.contexts_solved;
+    result.profile.solver_contexts_reused += ss.contexts_reused;
+  }
+  result.profile.wall_ms_offline = wall_ms_offline;
+  result.profile.wall_ms_run = wall_ms_run;
+  result.profile.wall_ms_total = wall_ms_since(wall_start);
   return result;
 }
 

@@ -9,6 +9,9 @@
 
 #include "cluster/router.h"
 #include "experiments/runner.h"
+#include "metrics/eventlog.h"
+#include "metrics/profile.h"
+#include "metrics/timeseries.h"
 #include "workload/driver.h"
 #include "workload/trace.h"
 
@@ -71,6 +74,22 @@ struct ClusterConfig {
   double warmup_s = 1.0;
   std::uint64_t seed = 42;
   bool stage_trace = false;
+
+  /// Telemetry (docs/OBSERVABILITY.md). When enabled, run_cluster arms a
+  /// metrics::TimeSeries sampler over per-GPU and fleet gauges and turns on
+  /// the collector's structured event log; both land in ClusterResult.
+  /// Probes are const reads and the sampler is one pooled re-armed event,
+  /// so enabling telemetry leaves every scheduling decision — and with it
+  /// every scenario fingerprint — byte-identical (bench_fig_scenarios
+  /// verifies this per run).
+  struct TelemetryConfig {
+    bool enabled = false;
+    /// Sampler cadence in simulated seconds.
+    double sample_period_s = 0.01;
+    /// Event-log reservation (records); appends within it are free.
+    std::size_t event_capacity = std::size_t{1} << 16;
+  };
+  TelemetryConfig telemetry;
 };
 
 /// Per-device slice of a cluster run.
@@ -98,6 +117,15 @@ struct ClusterResult {
   /// Trace rows skipped because no task serves their (model, SLO) class.
   std::uint64_t unmatched_rows = 0;
   std::vector<metrics::StageEvent> stage_trace;
+
+  /// Telemetry capture (empty unless ClusterConfig::telemetry.enabled).
+  /// TimeSeries is move-only, which makes ClusterResult move-only too.
+  metrics::TimeSeries timeseries;
+  metrics::EventLog events;
+
+  /// Self-profiler counters; always filled (the counters are maintained
+  /// unconditionally, so reading them costs nothing).
+  metrics::RunProfile profile;
 };
 
 /// Runs the fleet on the configured task set and returns the fleet summary.

@@ -1,5 +1,6 @@
 #include "experiments/runner.h"
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -14,6 +15,12 @@
 namespace daris::exp {
 
 RunResult run_daris(const RunConfig& config) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto wall_ms_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
   sim::Simulator sim;
   gpusim::Gpu gpu(sim, config.gpu, config.seed);
 
@@ -57,11 +64,14 @@ RunResult run_daris(const RunConfig& config) {
 
   // Offline phase 2: Algorithm 1 initial context assignment.
   scheduler.run_offline_phase();
+  const double wall_ms_offline = wall_ms_since(wall_start);
 
   const common::Time horizon = common::from_sec(config.duration_s);
   workload::PeriodicDriver driver(sim, scheduler, horizon);
   driver.start();
+  const auto wall_run_start = std::chrono::steady_clock::now();
   sim.run_until(horizon);
+  const double wall_ms_run = wall_ms_since(wall_run_start);
 
   RunResult result;
   result.total_jps = collector.throughput_jps(horizon);
@@ -70,6 +80,20 @@ RunResult run_daris(const RunConfig& config) {
   result.gpu_utilization = gpu.utilization(horizon);
   result.migrations = scheduler.migrations();
   result.stage_trace = collector.stage_trace();
+
+  const sim::Simulator::Stats sstats = sim.stats();
+  result.profile.events_executed = sstats.events_executed;
+  result.profile.callbacks_inline = sstats.callbacks_inline;
+  result.profile.callbacks_heap = sstats.callbacks_heap;
+  result.profile.heap_high_water = sstats.heap_high_water;
+  result.profile.pool_slots = sstats.pool_slots;
+  const gpusim::Gpu::SolverStats& ss = gpu.solver_stats();
+  result.profile.solver_flushes = ss.flushes;
+  result.profile.solver_contexts_solved = ss.contexts_solved;
+  result.profile.solver_contexts_reused = ss.contexts_reused;
+  result.profile.wall_ms_offline = wall_ms_offline;
+  result.profile.wall_ms_run = wall_ms_run;
+  result.profile.wall_ms_total = wall_ms_since(wall_start);
   return result;
 }
 

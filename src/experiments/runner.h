@@ -10,6 +10,7 @@
 #include "daris/config.h"
 #include "gpusim/gpu_spec.h"
 #include "metrics/collector.h"
+#include "metrics/profile.h"
 #include "workload/taskset.h"
 
 namespace daris::exp {
@@ -31,6 +32,8 @@ struct RunResult {
   double gpu_utilization = 0.0;
   std::uint64_t migrations = 0;
   std::vector<metrics::StageEvent> stage_trace;
+  /// Self-profiler counters (always filled; see metrics/profile.h).
+  metrics::RunProfile profile;
 };
 
 /// Runs DARIS on the configured task set and returns the measured summary.

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "metrics/trace_export.h"
 #include "workload/taskset.h"
 
 namespace daris::exp {
@@ -243,6 +244,15 @@ std::string fingerprint_of(const ClusterResult& r,
   return fp;
 }
 
+/// FNV-1a 64-bit over a string — the telemetry determinism digest.
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 0xcbf29ce484222325ull) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 }  // namespace
 
 std::vector<std::string> scenario_names() {
@@ -258,7 +268,8 @@ std::string scenario_description(const std::string& name) {
 }
 
 ScenarioResult run_scenario(const std::string& name,
-                            const std::string& data_dir) {
+                            const std::string& data_dir,
+                            const ScenarioTelemetry* telemetry) {
   ScenarioResult out;
   out.name = name;
   const ScenarioDef* def = find_scenario(name);
@@ -268,10 +279,53 @@ ScenarioResult run_scenario(const std::string& name,
   }
   out.description = def->description;
 
-  const ClusterConfig cfg = def->config(data_dir);
+  ClusterConfig cfg = def->config(data_dir);
+  if (telemetry != nullptr) {
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.sample_period_s = telemetry->sample_period_s;
+  }
   out.cluster = run_cluster(cfg);
   out.report = metrics::trace_report(out.cluster.stage_trace);
   out.fingerprint = fingerprint_of(out.cluster, out.report);
+
+  if (telemetry != nullptr) {
+    // Unified Perfetto trace: stage spans on per-GPU lanes + counter tracks
+    // + event-log instants, built before the stage trace is folded away.
+    metrics::TraceRecorder rec;
+    rec.add_stage_events_by_gpu(out.cluster.stage_trace);
+    out.perfetto_json = metrics::to_chrome_trace_json(
+        rec.spans(), &out.cluster.timeseries, &out.cluster.events);
+
+    // Telemetry JSON. The digest covers the deterministic sections only
+    // (series, events, fingerprint) — the profile carries host wall-clock.
+    std::string series_json;
+    out.cluster.timeseries.append_json(&series_json);
+    std::string events_json;
+    out.cluster.events.append_json_array(&events_json);
+    out.telemetry_digest =
+        fnv1a(out.fingerprint, fnv1a(events_json, fnv1a(series_json)));
+
+    std::string& t = out.telemetry_json;
+    char buf[96];
+    t += "{\n  \"scenario\": \"";
+    t += name;  // scenario names are code-chosen identifiers
+    std::snprintf(buf, sizeof buf, "\",\n  \"sample_period_us\": %.17g,\n",
+                  telemetry->sample_period_s * 1e6);
+    t += buf;
+    std::snprintf(buf, sizeof buf, "  \"digest\": \"%016llx\",\n",
+                  static_cast<unsigned long long>(out.telemetry_digest));
+    t += buf;
+    t += "  \"fingerprint\": \"";
+    t += out.fingerprint;
+    t += "\",\n  \"timeseries\": ";
+    t += series_json;
+    t += ",\n  \"events\": ";
+    t += events_json;
+    t += ",\n  \"profile\": ";
+    out.cluster.profile.append_json(&t);
+    t += "\n}\n";
+  }
+
   out.cluster.stage_trace.clear();
   out.cluster.stage_trace.shrink_to_fit();
 

@@ -42,6 +42,27 @@ struct ScenarioResult {
   /// Behaviour digest for bit-identity comparison across repeated runs:
   /// every counter above plus per-GPU completions, exactly formatted.
   std::string fingerprint;
+
+  /// Telemetry artifacts, filled only when run_scenario received a
+  /// ScenarioTelemetry (docs/OBSERVABILITY.md documents both formats):
+  /// - telemetry_json: {"scenario", "sample_period_us", "digest",
+  ///   "fingerprint", "timeseries", "events", "profile"} — the profile's
+  ///   wall-clock fields are host timing and are excluded from the digest.
+  /// - perfetto_json: unified Chrome trace (stage spans + counter tracks +
+  ///   instant events on shared per-GPU lanes).
+  /// - telemetry_digest: FNV-1a over the deterministic telemetry sections;
+  ///   equal digests across repeated runs certify deterministic telemetry.
+  std::string telemetry_json;
+  std::string perfetto_json;
+  std::uint64_t telemetry_digest = 0;
+};
+
+/// Opt-in telemetry capture for run_scenario. Enabling it must not change
+/// the scenario's behaviour fingerprint (bench_fig_scenarios verifies).
+struct ScenarioTelemetry {
+  /// Sampler cadence in simulated seconds (5 ms default: ~600 samples over
+  /// the 3 s scenarios, ~6k over the 30 s diurnal replay).
+  double sample_period_s = 0.005;
 };
 
 /// Registered scenario names, in run order.
@@ -52,8 +73,11 @@ std::string scenario_description(const std::string& name);
 
 /// Runs one named scenario; `data_dir` locates bundled traces (the
 /// repository's tests/data). Unknown names return a ScenarioResult with
-/// pass = false and an "unknown scenario" description.
+/// pass = false and an "unknown scenario" description. A non-null
+/// `telemetry` enables the sampler + event log and fills the telemetry
+/// artifacts in the result.
 ScenarioResult run_scenario(const std::string& name,
-                            const std::string& data_dir);
+                            const std::string& data_dir,
+                            const ScenarioTelemetry* telemetry = nullptr);
 
 }  // namespace daris::exp

@@ -337,6 +337,7 @@ void Gpu::mark_context_dirty(ContextId ctx) {
 }
 
 void Gpu::flush_rates() {
+  ++solver_stats_.flushes;
   const Time now = sim_.now();
   // Progress must be settled under the *old* rates before any rate changes.
   // busy_last_update_ only moves in settle_progress(), and kernels added
@@ -357,6 +358,7 @@ void Gpu::flush_rates() {
   double total_alloc = 0.0;
   for (auto& cs : contexts_) {
     if (cs.dirty) {
+      ++solver_stats_.contexts_solved;
       cs.shares.resize(cs.members.size());
       double quota = cs.quota;
       std::size_t left = cs.members.size();
@@ -373,6 +375,8 @@ void Gpu::flush_rates() {
           1.0 / (1.0 + spec_.alpha_intra *
                            std::min(active - 1.0, spec_.intra_saturation));
       cs.dirty = false;
+    } else {
+      ++solver_stats_.contexts_reused;
     }
     for (const double s : cs.shares) total_alloc += s;
   }

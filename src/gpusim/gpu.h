@@ -136,6 +136,17 @@ class Gpu {
   /// Completed kernel count (for tests / microbenchmarks).
   std::uint64_t kernels_completed() const { return kernels_completed_; }
 
+  /// Self-profiler counters for the incremental rate solver: flush count
+  /// and, per flush, how many contexts were re-solved (dirty) vs served
+  /// from their cached water-fill. Maintained unconditionally; reading
+  /// them cannot perturb the run.
+  struct SolverStats {
+    std::uint64_t flushes = 0;
+    std::uint64_t contexts_solved = 0;
+    std::uint64_t contexts_reused = 0;
+  };
+  const SolverStats& solver_stats() const { return solver_stats_; }
+
   /// Test/tooling snapshot of one resident kernel's allocation state.
   struct ActiveKernelInfo {
     StreamId stream = -1;
@@ -273,6 +284,7 @@ class Gpu {
   double busy_integral_ = 0.0;  // SM-ns
   Time busy_last_update_ = 0;
   std::uint64_t kernels_completed_ = 0;
+  SolverStats solver_stats_;
 };
 
 }  // namespace daris::gpusim

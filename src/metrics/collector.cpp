@@ -1,6 +1,63 @@
 #include "metrics/collector.h"
 
+#include "metrics/eventlog.h"
+
 namespace daris::metrics {
+
+Collector::Collector() = default;
+Collector::~Collector() = default;
+
+void Collector::enable_event_log(std::size_t capacity) {
+  event_log_ = std::make_unique<EventLog>();
+  event_log_->reserve(capacity);
+}
+
+void Collector::log_admit(Time when, int gpu, int task) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kAdmit, EventCause::kHomeAdmit, gpu,
+                       -1, task);
+  }
+}
+
+void Collector::log_reject(Time when, int gpu, int task, EventCause cause) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kReject, cause, gpu, -1, task);
+  }
+}
+
+void Collector::log_migrate(Time when, int from_gpu, int to_gpu, int task) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kMigrate, EventCause::kSpill,
+                       from_gpu, to_gpu, task);
+  }
+}
+
+void Collector::log_transfer(Time when, int to_gpu, int task, double mb) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kTransfer, EventCause::kColdModel,
+                       to_gpu, -1, task, mb);
+  }
+}
+
+void Collector::log_fault(Time when, int gpu, EventCause cause,
+                          double value) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kFault, cause, gpu, -1, -1, value);
+  }
+}
+
+void Collector::log_rehome(Time when, int from_gpu, int to_gpu, int task) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kRehome, EventCause::kNone, from_gpu,
+                       to_gpu, task);
+  }
+}
+
+void Collector::log_drain(Time when, int gpu) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kDrain, EventCause::kScaleDown, gpu);
+  }
+}
 
 void Collector::on_release(const JobEvent& ev) {
   auto& c = classes_[static_cast<std::size_t>(ev.priority)];

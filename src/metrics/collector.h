@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/priority.h"
@@ -10,6 +11,12 @@
 #include "common/time.h"
 
 namespace daris::metrics {
+
+// Defined in metrics/eventlog.h; forward-declared here so the collector can
+// own the log without an include cycle (eventlog.h needs RoutingCounters).
+enum class EventKind : std::uint8_t;
+enum class EventCause : std::uint8_t;
+class EventLog;
 
 using common::Duration;
 using common::Priority;
@@ -89,6 +96,11 @@ struct RoutingCounters {
 
 class Collector {
  public:
+  Collector();
+  ~Collector();
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
   /// When true, stage events are stored (memory-heavy; off by default).
   void enable_stage_trace(bool on) { trace_stages_ = on; }
 
@@ -118,6 +130,29 @@ class Collector {
   /// A migration shipped `mb` of model weights onto `to_gpu`.
   void on_transfer(int to_gpu, double mb);
 
+  // --- structured event log (metrics/eventlog.h) -------------------------
+  //
+  // Typed, timestamped records of the fleet's routing and lifecycle
+  // decisions, appended by the router and the fleet next to the counter
+  // hooks above. Disabled by default; every log_* call is a no-op until
+  // enable_event_log reserves the storage, so the always-on counters stay
+  // the only steady-state bookkeeping and telemetry-off runs do no extra
+  // work. EventLog::fold_routing reproduces the RoutingCounters from the
+  // records alone (tested), making the log the queryable source of truth.
+
+  /// Creates (or resets) the log with room for `capacity` records.
+  void enable_event_log(std::size_t capacity);
+  EventLog* event_log() { return event_log_.get(); }
+  const EventLog* event_log() const { return event_log_.get(); }
+
+  void log_admit(Time when, int gpu, int task);
+  void log_reject(Time when, int gpu, int task, EventCause cause);
+  void log_migrate(Time when, int from_gpu, int to_gpu, int task);
+  void log_transfer(Time when, int to_gpu, int task, double mb);
+  void log_fault(Time when, int gpu, EventCause cause, double value);
+  void log_rehome(Time when, int from_gpu, int to_gpu, int task);
+  void log_drain(Time when, int gpu);
+
   int gpu_count() const { return static_cast<int>(routing_.size()); }
   const RoutingCounters& routing(int gpu) const {
     return routing_[static_cast<std::size_t>(gpu)];
@@ -144,6 +179,7 @@ class Collector {
   bool trace_stages_ = false;
   bool trace_jobs_ = false;
   Time measure_start_ = 0;
+  std::unique_ptr<EventLog> event_log_;
 };
 
 }  // namespace daris::metrics

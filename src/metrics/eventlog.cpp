@@ -1,0 +1,134 @@
+#include "metrics/eventlog.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace daris::metrics {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kAdmit:
+      return "admit";
+    case EventKind::kReject:
+      return "reject";
+    case EventKind::kMigrate:
+      return "migrate";
+    case EventKind::kTransfer:
+      return "transfer";
+    case EventKind::kFault:
+      return "fault";
+    case EventKind::kRehome:
+      return "rehome";
+    case EventKind::kDrain:
+      return "drain";
+  }
+  return "?";
+}
+
+const char* event_cause_name(EventCause c) {
+  switch (c) {
+    case EventCause::kNone:
+      return "none";
+    case EventCause::kHomeAdmit:
+      return "home-admit";
+    case EventCause::kInfeasible:
+      return "infeasible";
+    case EventCause::kBacklog:
+      return "backlog";
+    case EventCause::kPeerReject:
+      return "peer-reject";
+    case EventCause::kSpill:
+      return "spill";
+    case EventCause::kColdModel:
+      return "cold-model";
+    case EventCause::kFailStop:
+      return "fail-stop";
+    case EventCause::kStraggler:
+      return "straggler";
+    case EventCause::kScaleUp:
+      return "scale-up";
+    case EventCause::kScaleDown:
+      return "scale-down";
+  }
+  return "?";
+}
+
+std::vector<RoutingCounters> EventLog::fold_routing(int gpu_count) const {
+  std::vector<RoutingCounters> out(
+      static_cast<std::size_t>(gpu_count < 0 ? 0 : gpu_count));
+  auto at = [&out](int g) -> RoutingCounters* {
+    if (g < 0 || static_cast<std::size_t>(g) >= out.size()) return nullptr;
+    return &out[static_cast<std::size_t>(g)];
+  };
+  for (const FleetEvent& ev : events_) {
+    switch (ev.kind) {
+      case EventKind::kAdmit:
+        if (auto* c = at(ev.gpu)) {
+          ++c->routed;
+          ++c->home_admits;
+        }
+        break;
+      case EventKind::kReject:
+        if (auto* c = at(ev.gpu)) {
+          ++c->routed;
+          // Mirrors the live counters exactly: infeasible sheds are counted
+          // in their own column, guard/peer rejections in `dropped`.
+          if (ev.cause == EventCause::kInfeasible) {
+            ++c->infeasible;
+          } else {
+            ++c->dropped;
+          }
+        }
+        break;
+      case EventKind::kMigrate:
+        // Routed to `gpu`, admitted on `peer`.
+        if (auto* c = at(ev.gpu)) {
+          ++c->routed;
+          ++c->migrated_out;
+        }
+        if (auto* c = at(ev.peer)) ++c->migrated_in;
+        break;
+      case EventKind::kTransfer:
+        if (auto* c = at(ev.gpu)) {
+          ++c->transfers_in;
+          c->transferred_mb += ev.value;
+        }
+        break;
+      case EventKind::kFault:
+      case EventKind::kRehome:
+      case EventKind::kDrain:
+        break;  // lifecycle records carry no routing counts
+    }
+  }
+  return out;
+}
+
+void EventLog::append_json_array(std::string* out) const {
+  *out += "[";
+  char buf[192];
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FleetEvent& ev = events_[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n    {\"ts_us\": %.17g, \"kind\": \"%s\", \"cause\": "
+                  "\"%s\", \"gpu\": %d, \"peer\": %d, \"task\": %d, "
+                  "\"value\": %.17g}",
+                  i == 0 ? "" : ",", common::to_us(ev.when),
+                  event_kind_name(ev.kind), event_cause_name(ev.cause),
+                  static_cast<int>(ev.gpu), static_cast<int>(ev.peer),
+                  static_cast<int>(ev.task), ev.value);
+    *out += buf;
+  }
+  *out += events_.empty() ? "]" : "\n  ]";
+}
+
+void EventLog::write_jsonl(std::ostream& os) const {
+  for (const FleetEvent& ev : events_) {
+    os << "{\"ts_us\": " << common::to_us(ev.when) << ", \"kind\": \""
+       << event_kind_name(ev.kind) << "\", \"cause\": \""
+       << event_cause_name(ev.cause) << "\", \"gpu\": " << ev.gpu
+       << ", \"peer\": " << ev.peer << ", \"task\": " << ev.task
+       << ", \"value\": " << ev.value << "}\n";
+  }
+}
+
+}  // namespace daris::metrics

@@ -1,0 +1,116 @@
+// Structured fleet event log: one typed, fixed-size record per routing /
+// fault / lifecycle decision — admission, rejection, migration, weight
+// transfer, fault, rehome, drain — stamped with the device id, the simulated
+// time, and a cause code.
+//
+// The log is the queryable source of truth for the fleet's routing
+// outcomes: `fold_routing()` reconstructs the per-GPU `RoutingCounters`
+// from the records alone (a unit test pins the fold against the live
+// counters), and the Perfetto export renders the records as instant events
+// on the per-GPU lanes. Records are PODs appended into a pre-reserved
+// vector, so steady-state logging performs no allocation (pinned in
+// tests/test_sim_alloc.cpp) and — because nothing ever reads the log during
+// the run — enabling it cannot perturb a single scheduling decision.
+//
+// Export formats: JSON Lines (`write_jsonl`, one object per record) for
+// offline tooling, and the unified Perfetto trace via
+// metrics::to_chrome_trace_json.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/time.h"
+#include "metrics/collector.h"
+
+namespace daris::metrics {
+
+/// Record type. The set mirrors the fleet's observable decisions; kFault
+/// covers fail-stop, straggler throttles, and scale-up (cause disambiguates).
+enum class EventKind : std::uint8_t {
+  kAdmit,     // job admitted (home GPU or single-GPU scheduler)
+  kReject,    // job shed (cause: infeasible / backlog / peer rejection)
+  kMigrate,   // job admitted on a peer after its routed GPU rejected it
+  kTransfer,  // cold-model weight copy shipped to `gpu` (value = MB)
+  kFault,     // device lifecycle change (fail / slow / scale-up)
+  kRehome,    // task's home reservation moved from `gpu` to `peer`
+  kDrain,     // device entered graceful scale-down
+};
+
+/// Why the event happened; kinds use the subset that applies to them.
+enum class EventCause : std::uint8_t {
+  kNone,
+  kHomeAdmit,   // kAdmit: admitted by the GPU the job was routed to
+  kInfeasible,  // kReject: no device could ever host the job
+  kBacklog,     // kReject: fleet-wide backlog guard fired
+  kPeerReject,  // kReject: routed GPU and the offered peer both rejected
+  kSpill,       // kMigrate: admitted by a peer after home rejection
+  kColdModel,   // kTransfer: weights were cold on the migration target
+  kFailStop,    // kFault: device died; value = in-flight jobs lost
+  kStraggler,   // kFault: compute scale multiplied; value = factor
+  kScaleUp,     // kFault: device joined the fleet mid-run
+  kScaleDown,   // kDrain: graceful scale-down began
+};
+
+const char* event_kind_name(EventKind k);
+const char* event_cause_name(EventCause c);
+
+/// One fixed-size record. `gpu` is the primary device, `peer` the secondary
+/// (migration/rehome target; -1 otherwise), `task` the logical task id (-1
+/// for device-level events), `value` a kind-specific payload (transfer MB,
+/// straggler factor, jobs lost).
+struct FleetEvent {
+  common::Time when = 0;
+  EventKind kind = EventKind::kAdmit;
+  EventCause cause = EventCause::kNone;
+  std::int16_t gpu = -1;
+  std::int16_t peer = -1;
+  std::int32_t task = -1;
+  double value = 0.0;
+};
+
+class EventLog {
+ public:
+  /// Pre-sizes the record storage; appends within the reservation are
+  /// allocation-free.
+  void reserve(std::size_t records) { events_.reserve(records); }
+
+  void append(common::Time when, EventKind kind, EventCause cause, int gpu,
+              int peer = -1, int task = -1, double value = 0.0) {
+    FleetEvent ev;
+    ev.when = when;
+    ev.kind = kind;
+    ev.cause = cause;
+    ev.gpu = static_cast<std::int16_t>(gpu);
+    ev.peer = static_cast<std::int16_t>(peer);
+    ev.task = static_cast<std::int32_t>(task);
+    ev.value = value;
+    events_.push_back(ev);
+  }
+
+  const std::vector<FleetEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Reconstructs the per-GPU routing counters from the records alone.
+  /// With no transfers still in flight at the end of a run this equals the
+  /// live `Collector` counters field for field — the property that makes
+  /// the log the source of truth rather than a second bookkeeping system.
+  /// `routed` is derived as the sum of per-GPU outcomes (every routed job
+  /// ends in exactly one admit/migrate/reject record).
+  std::vector<RoutingCounters> fold_routing(int gpu_count) const;
+
+  /// One JSON object per record (JSON Lines), in append order.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Appends the records as one JSON array (same per-record fields as
+  /// write_jsonl, deterministic %.17g number formatting).
+  void append_json_array(std::string* out) const;
+
+ private:
+  std::vector<FleetEvent> events_;
+};
+
+}  // namespace daris::metrics

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "metrics/collector.h"
+#include "metrics/eventlog.h"
+#include "metrics/timeseries.h"
 
 namespace daris::metrics {
 
@@ -40,6 +42,11 @@ class TraceRecorder {
   /// only for lane grouping; pass -1 groups everything together).
   void add_stage_events(const std::vector<StageEvent>& stages);
 
+  /// Cluster variant: groups stage spans by the executing *device* (pid =
+  /// GPU id, tid = context id), so spans share lanes with the per-GPU
+  /// counter tracks and instant events of the unified export below.
+  void add_stage_events_by_gpu(const std::vector<StageEvent>& stages);
+
  private:
   std::vector<TraceSpan> spans_;
 };
@@ -47,5 +54,15 @@ class TraceRecorder {
 /// Serialises spans to the Chrome trace-event JSON array format.
 /// Timestamps are microseconds as the format requires.
 std::string to_chrome_trace_json(const std::vector<TraceSpan>& spans);
+
+/// Unified export: complete events ("ph":"X") from `spans`, counter tracks
+/// ("ph":"C") from the sampler, and instant events ("ph":"i") from the
+/// event log, on shared per-GPU lanes (pid = device id; -1 = fleet lane).
+/// One trace file then shows stages, utilisation curves, and fault markers
+/// together in Perfetto. Null `series`/`log` sections are omitted; with
+/// both null the output is byte-identical to the single-argument overload.
+std::string to_chrome_trace_json(const std::vector<TraceSpan>& spans,
+                                 const TimeSeries* series,
+                                 const EventLog* log);
 
 }  // namespace daris::metrics

@@ -53,6 +53,11 @@ class Callback {
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
+  /// True when the captures outgrew the inline buffer and live in a heap
+  /// cell (the self-profiler's pooled-vs-spilled callback counter reads
+  /// this; empty callbacks count as inline).
+  bool on_heap() const noexcept { return ops_ != nullptr && ops_->heap; }
+
   void operator()() { ops_->invoke(storage_); }
 
   void reset() noexcept {
@@ -68,6 +73,7 @@ class Callback {
     /// Move-constructs into `dst` from `src` and destroys `src`.
     void (*relocate)(void* dst, void* src);
     void (*destroy)(void* storage);
+    bool heap;  // storage holds a pointer to a heap cell, not the functor
   };
 
   template <typename Fn>
@@ -102,6 +108,7 @@ const Callback::Ops Callback::kInlineOps = {
       from->~Fn();
     },
     [](void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); },
+    /*heap=*/false,
 };
 
 template <typename Fn>
@@ -113,6 +120,7 @@ const Callback::Ops Callback::kHeapOps = {
       ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
     },
     [](void* storage) { delete *std::launder(reinterpret_cast<Fn**>(storage)); },
+    /*heap=*/true,
 };
 
 }  // namespace daris::sim

@@ -73,6 +73,9 @@ void Simulator::sift_down(std::size_t pos) {
 void Simulator::heap_push(HeapEntry entry) {
   pos_[entry.slot] = static_cast<std::uint32_t>(heap_.size());
   heap_.push_back(entry);
+  if (heap_.size() > stats_.heap_high_water) {
+    stats_.heap_high_water = heap_.size();
+  }
   sift_up(heap_.size() - 1);
 }
 
@@ -134,6 +137,11 @@ bool Simulator::reschedule_after(EventHandle handle, Duration delay) {
 EventHandle Simulator::schedule_at_with_sequence(Time when, std::uint64_t seq,
                                                  Callback cb) {
   if (when < now_) when = now_;  // clamp: past events fire on the current tick
+  if (cb.on_heap()) {
+    ++stats_.callbacks_heap;
+  } else {
+    ++stats_.callbacks_inline;
+  }
   const std::uint32_t slot = acquire_node();
   node(slot).cb = std::move(cb);
   heap_push(HeapEntry{when, seq, slot});
@@ -151,6 +159,7 @@ bool Simulator::reschedule_with_sequence(EventHandle handle, Time when,
 }
 
 void Simulator::fire_top() {
+  ++stats_.events_executed;
   const std::uint32_t slot = heap_[0].slot;
   now_ = heap_[0].when;
   heap_remove(0);

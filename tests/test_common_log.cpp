@@ -1,0 +1,78 @@
+// Leveled logger: threshold round-trip and the macro's short-circuit — a
+// discarded DARIS_LOG_* statement must not evaluate its stream operands
+// (the fleet logs on hot fault/rehome paths; filtering has to be free).
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace daris::common {
+namespace {
+
+/// Restores the global threshold on scope exit so tests stay independent
+/// (and the suite leaves the default in place for later suites).
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+int touch(int& calls) {
+  ++calls;
+  return calls;
+}
+
+TEST(CommonLog, SetLogLevelRoundTrips) {
+  LogLevelGuard guard;
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(CommonLog, DefaultThresholdDiscardsTrace) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);  // the documented default
+  int calls = 0;
+  DARIS_LOG_TRACE << "discarded " << touch(calls);
+  DARIS_LOG_DEBUG << "discarded " << touch(calls);
+  DARIS_LOG_INFO << "discarded " << touch(calls);
+  EXPECT_EQ(calls, 0) << "operands of a filtered log line must not run";
+}
+
+TEST(CommonLog, TraceThresholdEvaluatesEveryLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kTrace);
+  int calls = 0;
+  DARIS_LOG_TRACE << "emitted " << touch(calls);
+  DARIS_LOG_DEBUG << "emitted " << touch(calls);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CommonLog, OffDiscardsEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int calls = 0;
+  DARIS_LOG_ERROR << "discarded " << touch(calls);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CommonLog, MacroBindsAsOneStatement) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int calls = 0;
+  // The macro must compose with an if/else without dangling: the else here
+  // belongs to the outer if, not the macro's internal one.
+  if (calls == 0)
+    DARIS_LOG_TRACE << touch(calls);
+  else
+    touch(calls);
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace daris::common

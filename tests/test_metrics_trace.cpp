@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+
+#include "metrics/eventlog.h"
+#include "metrics/timeseries.h"
 #include "metrics/trace_export.h"
 #include "metrics/trace_report.h"
 
@@ -37,6 +42,252 @@ TEST(TraceExport, EscapesQuotesInNames) {
   s.name = "we\"ird\\name";
   const std::string json = to_chrome_trace_json({s});
   EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesControlCharacters) {
+  TraceSpan s;
+  s.name = std::string("line\nbreak\ttab\x01raw", 18);
+  const std::string json = to_chrome_trace_json({s});
+  EXPECT_NE(json.find("line\\u000abreak\\u0009tab\\u0001raw"),
+            std::string::npos);
+  EXPECT_EQ(json.find("line\nbreak"), std::string::npos)
+      << "no raw control characters may survive inside the name string";
+}
+
+TEST(TraceExport, NullSectionsMatchSpanOnlyOverload) {
+  TraceSpan s;
+  s.name = "task0.stage0";
+  s.begin = from_ms(1.0);
+  s.duration = from_ms(2.0);
+  const std::vector<TraceSpan> spans = {s};
+  EXPECT_EQ(to_chrome_trace_json(spans),
+            to_chrome_trace_json(spans, nullptr, nullptr));
+}
+
+TEST(TraceExport, UnifiedGoldenOutput) {
+  TraceSpan s;
+  s.name = "a";
+  TimeSeries series;
+  series.add_track("gpu/util", 0, [] { return 1.5; });
+  series.sample_now(common::from_us(5.0));
+  EventLog log;
+  log.append(common::from_us(7.0), EventKind::kFault, EventCause::kFailStop,
+             /*gpu=*/1, /*peer=*/-1, /*task=*/-1, /*value=*/2.0);
+  const std::string json = to_chrome_trace_json({s}, &series, &log);
+  EXPECT_EQ(json,
+            "[\n"
+            "  {\"name\": \"a\", \"ph\": \"X\", \"pid\": 0, \"tid\": 0,"
+            " \"ts\": 0, \"dur\": 0,"
+            " \"args\": {\"priority\": \"HP\", \"missed\": false}},\n"
+            "  {\"name\": \"gpu/util\", \"ph\": \"C\", \"pid\": 0,"
+            " \"ts\": 5, \"args\": {\"value\": 1.5}},\n"
+            "  {\"name\": \"fault:fail-stop\", \"ph\": \"i\", \"s\": \"p\","
+            " \"pid\": 1, \"tid\": -1, \"ts\": 7,"
+            " \"args\": {\"peer\": -1, \"value\": 2}}\n"
+            "]\n");
+}
+
+TEST(TraceExport, RoutingInstantsMarkOwnLaneOnly) {
+  // Device-lifecycle instants (fault/drain/rehome) draw process-wide marker
+  // lines (scope "p"); routing records stay on their own thread row ("t").
+  EventLog log;
+  log.append(0, EventKind::kAdmit, EventCause::kHomeAdmit, 0, -1, 3);
+  log.append(0, EventKind::kDrain, EventCause::kScaleDown, 1);
+  const std::string json = to_chrome_trace_json({}, nullptr, &log);
+  EXPECT_NE(json.find("\"name\": \"admit:home-admit\", \"ph\": \"i\","
+                      " \"s\": \"t\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"drain:scale-down\", \"ph\": \"i\","
+                      " \"s\": \"p\""),
+            std::string::npos);
+}
+
+TEST(TraceExport, OrderingIsStable) {
+  // Spans first, then counter samples grouped by track in registration
+  // order, then instants in append order — and the whole export is a pure
+  // function of its inputs (two calls are byte-identical).
+  TraceSpan s;
+  s.name = "span";
+  TimeSeries series;
+  series.add_track("first", 0, [] { return 1.0; });
+  series.add_track("second", 1, [] { return 2.0; });
+  series.sample_now(0);
+  series.sample_now(common::from_us(10.0));
+  EventLog log;
+  log.append(common::from_us(3.0), EventKind::kReject, EventCause::kBacklog,
+             0, -1, 7);
+  const std::string json = to_chrome_trace_json({s}, &series, &log);
+  EXPECT_EQ(json, to_chrome_trace_json({s}, &series, &log));
+  const std::size_t span_pos = json.find("\"span\"");
+  const std::size_t first_pos = json.find("\"first\"");
+  const std::size_t second_pos = json.find("\"second\"");
+  const std::size_t instant_pos = json.find("\"reject:backlog\"");
+  ASSERT_NE(span_pos, std::string::npos);
+  ASSERT_NE(first_pos, std::string::npos);
+  ASSERT_NE(second_pos, std::string::npos);
+  ASSERT_NE(instant_pos, std::string::npos);
+  EXPECT_LT(span_pos, first_pos);
+  EXPECT_LT(json.rfind("\"first\""), second_pos)
+      << "all of track 0's samples precede track 1's";
+  EXPECT_LT(second_pos, instant_pos);
+}
+
+// Minimal recursive-descent JSON syntax checker: enough grammar to certify
+// the export parses (objects, arrays, strings with escapes, numbers,
+// true/false/null). Returns false on any syntax error or trailing garbage.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') return ++pos_, true;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(TraceExport, UnifiedExportParsesAsJson) {
+  TraceSpan hostile;
+  hostile.name = "we\"ird\\na\nme\x02";
+  hostile.group = -1;
+  hostile.lane = 3;
+  hostile.begin = from_ms(0.25);
+  hostile.duration = from_ms(1.75);
+  hostile.missed = true;
+  TimeSeries series;
+  series.add_track("gpu/util", 0, [] { return 0.125; });
+  series.add_track("fleet/backlog", -1, [] { return 42.0; });
+  for (int i = 0; i < 5; ++i) {
+    series.sample_now(common::from_us(100.0 * i));
+  }
+  EventLog log;
+  log.append(common::from_us(50.0), EventKind::kMigrate, EventCause::kSpill,
+             0, 1, 9);
+  log.append(common::from_us(60.0), EventKind::kTransfer,
+             EventCause::kColdModel, 1, -1, 9, 44.5);
+  log.append(common::from_us(70.0), EventKind::kFault, EventCause::kStraggler,
+             2, -1, -1, 0.5);
+  const std::string json = to_chrome_trace_json({hostile}, &series, &log);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // And the sanity check that the checker rejects broken input.
+  EXPECT_FALSE(JsonChecker("[{\"a\": }]").valid());
+  EXPECT_FALSE(JsonChecker("[1, 2").valid());
+  EXPECT_FALSE(JsonChecker(std::string("[\"a\nb\"]")).valid());
 }
 
 TEST(TraceRecorder, BuildsJobSpans) {

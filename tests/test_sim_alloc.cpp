@@ -15,6 +15,8 @@
 #include <new>
 #include <vector>
 
+#include "metrics/eventlog.h"
+#include "metrics/timeseries.h"
 #include "sim/simulator.h"
 #include "workload/driver.h"
 #include "workload/taskset.h"
@@ -179,6 +181,43 @@ TEST(SimulatorAlloc, TraceDriverSteadyStateDoesNotAllocate) {
       << "steady-state trace replay must not allocate";
   EXPECT_EQ(driver.arrivals(), trace.rows.size());
   EXPECT_EQ(driver.unmatched(), 0u);
+}
+
+// The telemetry sampler's whole steady state is one re-armed pooled event
+// writing into pre-sized rings: after start() reserves them, a full
+// horizon of cadence ticks performs zero allocations — the invariant that
+// lets telemetry stay on in perf-sensitive runs.
+TEST(SimulatorAlloc, TelemetrySamplerTicksDoNotAllocate) {
+  using daris::metrics::TimeSeries;
+  Simulator sim;
+  double gauge = 0.0;
+  TimeSeries series;
+  series.add_track("gauge_a", -1, [&gauge] { return gauge; });
+  series.add_track("gauge_b", 0, [&gauge] { return gauge * 2.0; });
+  series.start(sim, daris::common::from_us(100.0),
+               daris::common::from_ms(100.0));  // 1001 ticks
+  const std::size_t before = g_allocations;
+  sim.run();
+  const std::size_t after = g_allocations;
+  EXPECT_EQ(after - before, 0u)
+      << "sampler ticks must only write pre-sized rings and re-arm in place";
+  EXPECT_EQ(series.size(), 1001u);
+}
+
+// Event-log appends inside the reservation are plain POD pushes.
+TEST(SimulatorAlloc, EventLogAppendsWithinReservationDoNotAllocate) {
+  using daris::metrics::EventCause;
+  using daris::metrics::EventKind;
+  daris::metrics::EventLog log;
+  log.reserve(kBurst);
+  const std::size_t before = g_allocations;
+  for (int i = 0; i < kBurst; ++i) {
+    log.append(i, EventKind::kAdmit, EventCause::kHomeAdmit, i & 3, -1, i);
+  }
+  const std::size_t after = g_allocations;
+  EXPECT_EQ(after - before, 0u)
+      << "appends within the reservation must be allocation-free";
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kBurst));
 }
 
 TEST(SimulatorAlloc, OversizedCapturesFallBackToTheHeap) {
