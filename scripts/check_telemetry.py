@@ -36,6 +36,11 @@ PROFILE_KEYS = {"events_executed", "callbacks_inline", "callbacks_heap",
                 "dirty_hit_rate", "wall_ms_offline", "wall_ms_run",
                 "wall_ms_total"}
 EVENT_KEYS = {"ts_us", "kind", "cause", "gpu", "peer", "task", "value"}
+# Event-kind vocabulary (metrics/eventlog.cpp event_kind_name). A record
+# outside this set means the exporter and the gate disagree about the log's
+# schema — fail loudly instead of silently passing unknown kinds through.
+KNOWN_EVENT_KINDS = {"admit", "reject", "migrate", "transfer", "fault",
+                     "rehome", "drain", "steal", "coalesce"}
 
 
 def check_telemetry_file(path, name, report_digest, failures):
@@ -81,6 +86,9 @@ def check_telemetry_file(path, name, report_digest, failures):
         if missing:
             failures.append(f"{name}: event record missing keys "
                             f"{sorted(missing)}")
+            break
+        if ev["kind"] not in KNOWN_EVENT_KINDS:
+            failures.append(f"{name}: unknown event kind {ev['kind']!r}")
             break
 
     profile = doc["profile"]

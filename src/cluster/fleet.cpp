@@ -181,13 +181,22 @@ void Fleet::rehome_tasks_from(int g) {
   if (best < 0) return;  // nowhere to go: feasible() sheds the releases
   for (int t = 0; t < task_count(); ++t) {
     if (home_[static_cast<std::size_t>(t)] != g) continue;
-    scheduler(g).set_task_resident(t, false);
-    scheduler(best).set_task_resident(t, true);
-    home_[static_cast<std::size_t>(t)] = best;
-    warm_model(best, t);
-    DARIS_LOG_INFO << "fleet: t=" << common::to_us(sim_.now())
-                   << "us rehome task " << t << " gpu " << g << " -> " << best;
-    if (collector_) collector_->log_rehome(sim_.now(), g, best, t);
+    rehome_task(t, best);
+  }
+}
+
+void Fleet::rehome_task(int task_id, int to, metrics::EventCause cause) {
+  const int from = home_[static_cast<std::size_t>(task_id)];
+  if (from == to) return;
+  scheduler(from).set_task_resident(task_id, false);
+  scheduler(to).set_task_resident(task_id, true);
+  home_[static_cast<std::size_t>(task_id)] = to;
+  warm_model(to, task_id);
+  DARIS_LOG_INFO << "fleet: t=" << common::to_us(sim_.now())
+                 << "us rehome task " << task_id << " gpu " << from << " -> "
+                 << to;
+  if (collector_) {
+    collector_->log_rehome(sim_.now(), from, to, task_id, cause);
   }
 }
 
@@ -208,6 +217,11 @@ std::size_t Fleet::fail_gpu_now(int g) {
     collector_->log_fault(sim_.now(), g, metrics::EventCause::kFailStop,
                           static_cast<double>(lost));
   }
+  // Let the router cancel/retarget transfers still headed here before the
+  // homes move (the retarget re-migration reads placement scores, which
+  // rehoming does not change, but the hook must see the device already
+  // unplaceable — health flipped above).
+  if (on_unplaceable_) on_unplaceable_(g);
   rehome_tasks_from(g);
   return lost;
 }
@@ -240,6 +254,7 @@ void Fleet::drain_gpu_now(int g) {
   DARIS_LOG_INFO << "fleet: t=" << common::to_us(sim_.now()) << "us gpu " << g
                  << " draining (finishes in-flight work, no new placements)";
   if (collector_) collector_->log_drain(sim_.now(), g);
+  if (on_unplaceable_) on_unplaceable_(g);
   rehome_tasks_from(g);
 }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "daris/scheduler.h"
 #include "gpusim/gpu.h"
 #include "metrics/collector.h"
+#include "metrics/eventlog.h"
 #include "sim/simulator.h"
 
 namespace daris::cluster {
@@ -133,6 +135,17 @@ class Fleet {
   int home_gpu(int task_id) const {
     return home_[static_cast<std::size_t>(task_id)];
   }
+  const dnn::CompiledModel* model_of(int task_id) const {
+    return model_of_task_[static_cast<std::size_t>(task_id)];
+  }
+
+  /// Moves one task's home (and its Eq. 11 HP reservation) to `to`, warming
+  /// its model there when capacity allows. The rebalancer's demand-aware
+  /// re-homing and the fault paths both land here; `cause` distinguishes
+  /// them in the event log (kNone: fault-driven, kDemandShift: periodic
+  /// rebalancing). No-op when the task is already homed on `to`.
+  void rehome_task(int task_id, int to,
+                   metrics::EventCause cause = metrics::EventCause::kNone);
 
   /// Admitted (active) utilisation of GPU g — the router's load signal.
   double load(int g) const { return scheduler(g).active_utilization(); }
@@ -250,6 +263,16 @@ class Fleet {
   /// Jobs shed by fail_gpu_now across the fleet (missed finishes).
   std::uint64_t jobs_lost() const { return jobs_lost_; }
 
+  /// Registers a callback invoked the instant a device stops being
+  /// placeable (fail_gpu_now / drain_gpu_now), before the fleet rehomes the
+  /// device's tasks. The router uses it to cancel or retarget weight
+  /// transfers still in flight toward the dead device (delivering bytes to
+  /// a halted GPU would strand the jobs riding them). One observer; a new
+  /// registration replaces the old, nullptr clears it.
+  void set_on_unplaceable(std::function<void(int)> fn) {
+    on_unplaceable_ = std::move(fn);
+  }
+
  private:
   /// Moves every task homed on `g` to the least-loaded placeable device
   /// (placement_score, ties to the lowest index). No-op for tasks homed
@@ -269,6 +292,7 @@ class Fleet {
   rt::SchedulerConfig sched_cfg_;
   metrics::Collector* collector_ = nullptr;
   common::Rng seed_rng_{0};
+  std::function<void(int)> on_unplaceable_;
   std::uint64_t jobs_lost_ = 0;
   std::vector<const dnn::CompiledModel*> model_of_task_;
   /// Per GPU: distinct models pinned hot, and the MB they occupy.

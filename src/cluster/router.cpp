@@ -27,11 +27,20 @@ Router::Router(Fleet& fleet, const RouterConfig& config,
     : fleet_(fleet),
       config_(config),
       rng_(config.seed),
-      collector_(collector) {}
+      collector_(collector) {
+  // Transfers headed to a device that fails or drains must be cancelled the
+  // instant it stops being placeable — before the fleet rehomes its tasks —
+  // so no delivery ever lands on a halted GPU. With no transfers in flight
+  // the hook is a no-op, so runs without faults (or without delayed
+  // transfers) are untouched.
+  fleet_.set_on_unplaceable([this](int g) { cancel_transfers_to(g); });
+}
 
 Router::Router(Fleet& fleet, RoutingPolicy policy, std::uint64_t seed,
                metrics::Collector* collector)
-    : Router(fleet, RouterConfig{policy, 0.75, seed}, collector) {}
+    : Router(fleet, RouterConfig{policy, 0.75, false, seed}, collector) {}
+
+Router::~Router() { fleet_.set_on_unplaceable(nullptr); }
 
 int Router::pick(int task_id) {
   const int n = fleet_.size();
@@ -105,6 +114,7 @@ int Router::best_peer(int exclude) const {
 void Router::release(int task_id) {
   const auto& spec = fleet_.scheduler(0).task(task_id).spec();
   const common::Time released = fleet_.simulator().now();
+  if (release_observer_) release_observer_(task_id);
   // HP jobs go to their home GPU — the device carrying their static Eq. 11
   // reservation — mirroring the paper's fixed HP context assignment one
   // level up (a dynamically routed HP job would land where no capacity is
@@ -166,6 +176,7 @@ void Router::release(int task_id) {
       collector_->log_reject(released, home, task_id,
                              metrics::EventCause::kBacklog);
     }
+    if (pressure_observer_) pressure_observer_(home);
     return;
   }
 
@@ -190,44 +201,135 @@ void Router::release(int task_id) {
 void Router::migrate(int task_id, int from, int peer,
                      common::Time released) {
   if (!fleet_.model_hot(peer, task_id)) {
-    // Cold target: ship the weights with the job. The transfer is charged
-    // up front (the bytes move even if the peer later rejects the job) and
-    // the delivery below happens once the copy lands. Concurrent cold
-    // migrations of one model each ship a full copy — an upper bound on
-    // transfer traffic; attaching to an in-flight copy is a ROADMAP item.
+    // Cold target: ship the weights with the job, delivering once the copy
+    // lands. If a copy of this model is already in flight toward the peer
+    // and coalescing is on, the job attaches to it instead of shipping a
+    // duplicate; otherwise the transfer is charged up front (the bytes move
+    // even if the peer later rejects the job).
     const double mb = fleet_.transfer_mb(task_id);
+    const common::Duration delay =
+        common::from_us(mb * fleet_.transfer_us_per_mb());
+    if (config_.coalesce && delay > 0) {
+      const auto lead = inflight_copy_.find(
+          CoalesceKey{peer, fleet_.model_of(task_id)});
+      if (lead != inflight_copy_.end()) {
+        const common::Time arrive = inflight_.at(lead->second).arrive;
+        ++coalesced_;
+        coalesced_mb_saved_ += mb;
+        if (collector_) {
+          collector_->on_coalesce(peer, mb);
+          collector_->log_coalesce(fleet_.simulator().now(), peer, task_id,
+                                   mb);
+        }
+        // The attacher's delivery event is scheduled after the leader's, so
+        // at equal arrival times it runs second — the leader's delivery has
+        // already warmed the model when this job is offered.
+        queue_delivery(task_id, from, peer, released, arrive, mb,
+                       /*leader=*/false);
+        return;
+      }
+    }
     ++transfers_;
     transferred_mb_ += mb;
     if (collector_) {
       collector_->on_transfer(peer, mb);
       collector_->log_transfer(fleet_.simulator().now(), peer, task_id, mb);
     }
-    const common::Duration delay =
-        common::from_us(mb * fleet_.transfer_us_per_mb());
     if (delay > 0) {
-      ++pending_transfers_;
-      if (static_cast<std::size_t>(peer) >= pending_to_.size()) {
-        pending_to_.resize(static_cast<std::size_t>(peer) + 1, 0);
-      }
-      ++pending_to_[static_cast<std::size_t>(peer)];
-      add_pending_job(task_id, 1);
-      fleet_.simulator().schedule_after(
-          delay, [this, task_id, from, peer, released] {
-            --pending_transfers_;
-            --pending_to_[static_cast<std::size_t>(peer)];
-            add_pending_job(task_id, -1);
-            deliver(task_id, from, peer, released);
-          });
+      queue_delivery(task_id, from, peer, released,
+                     fleet_.simulator().now() + delay, mb,
+                     /*leader=*/config_.coalesce);
       return;
     }
   }
   deliver(task_id, from, peer, released);
 }
 
+std::uint64_t Router::queue_delivery(int task_id, int from, int peer,
+                                     common::Time released,
+                                     common::Time arrive, double mb,
+                                     bool leader) {
+  const std::uint64_t id = next_transfer_id_++;
+  PendingRec rec;
+  rec.task = task_id;
+  rec.from = from;
+  rec.peer = peer;
+  rec.released = released;
+  rec.arrive = arrive;
+  rec.mb = mb;
+  rec.leader = leader;
+  ++pending_transfers_;
+  if (static_cast<std::size_t>(peer) >= pending_to_.size()) {
+    pending_to_.resize(static_cast<std::size_t>(peer) + 1, 0);
+  }
+  ++pending_to_[static_cast<std::size_t>(peer)];
+  add_pending_job(task_id, 1);
+  rec.handle =
+      fleet_.simulator().schedule_at(arrive, [this, id] {
+        complete_transfer(id);
+      });
+  inflight_.emplace(id, rec);
+  if (leader) {
+    inflight_copy_[CoalesceKey{peer, fleet_.model_of(task_id)}] = id;
+  }
+  return id;
+}
+
+void Router::complete_transfer(std::uint64_t id) {
+  const auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;  // cancelled
+  const PendingRec rec = it->second;
+  inflight_.erase(it);
+  finish_pending(rec);
+  deliver(rec.task, rec.from, rec.peer, rec.released);
+}
+
+void Router::finish_pending(const PendingRec& rec) {
+  --pending_transfers_;
+  --pending_to_[static_cast<std::size_t>(rec.peer)];
+  add_pending_job(rec.task, -1);
+  if (rec.leader) {
+    inflight_copy_.erase(CoalesceKey{rec.peer, fleet_.model_of(rec.task)});
+  }
+}
+
+void Router::cancel_transfers_to(int g) {
+  if (inflight_.empty()) return;
+  // Snapshot the ids first: retargeting re-enters migrate(), which inserts
+  // new records. Ascending id order is the arrival order of the original
+  // migrations, so cancellation — like everything else here — is a pure
+  // function of the event history.
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, rec] : inflight_) {
+    if (rec.peer == g) ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) {
+    const auto it = inflight_.find(id);
+    if (it == inflight_.end()) continue;
+    const PendingRec rec = it->second;
+    fleet_.simulator().cancel(rec.handle);
+    inflight_.erase(it);
+    finish_pending(rec);
+    ++transfer_cancels_;
+    // The bytes already shipped toward g are sunk; the job is not. Retarget
+    // it to the best surviving device (a cancelled leader's followers
+    // retarget right after it and coalesce onto its new copy) or drop it
+    // when the fleet has nowhere left.
+    const int alt = best_peer(g);
+    if (alt >= 0) {
+      migrate(rec.task, rec.from, alt, rec.released);
+    } else {
+      drop(rec.task, rec.from, rec.released,
+           metrics::EventCause::kRetarget);
+    }
+  }
+}
+
 void Router::deliver(int task_id, int from, int peer,
                      common::Time released) {
-  // The target may have failed or started draining while the weight
-  // transfer was in flight; the bytes are already spent, the job is not.
+  // Cancellation retires transfers to unplaceable devices at the fault
+  // instant, so a delivery can only race a fault landing at the exact same
+  // timestamp; the bytes are already spent either way, the job is not.
   if (!fleet_.placeable(peer)) {
     drop(task_id, from, released);
     return;
@@ -249,7 +351,8 @@ void Router::deliver(int task_id, int from, int peer,
   drop(task_id, from, released);
 }
 
-void Router::drop(int task_id, int gpu, common::Time released) {
+void Router::drop(int task_id, int gpu, common::Time released,
+                  metrics::EventCause cause) {
   ++drops_;
   if (collector_ == nullptr) return;
   const auto& spec = fleet_.scheduler(0).task(task_id).spec();
@@ -261,8 +364,7 @@ void Router::drop(int task_id, int gpu, common::Time released) {
   ev.gpu = gpu;
   collector_->on_reject(ev);
   collector_->on_drop(gpu);
-  collector_->log_reject(released, gpu, task_id,
-                         metrics::EventCause::kPeerReject);
+  collector_->log_reject(released, gpu, task_id, cause);
 }
 
 int Router::pending_jobs(int task_id) const {

@@ -17,6 +17,21 @@
 // on the target so repeat migrations are free. The job is dropped only when
 // the peer rejects it too (for delayed deliveries, at arrival time).
 //
+// In-flight transfers are first-class state: every delayed delivery sits in
+// an id-ordered registry with its cancellable event handle. Two behaviours
+// build on it:
+//
+//  - Transfer coalescing (RouterConfig::coalesce): a cold migration of a
+//    model already being copied to the same peer *attaches* to the
+//    in-flight copy — no duplicate bytes are charged, and the attached job
+//    is delivered when the leading copy lands (leader first, so the model
+//    is warm by then).
+//  - Fault cancellation: when a device fails or drains, transfers still
+//    headed to it are cancelled at the fault instant (the bytes are sunk;
+//    the jobs are not) and each job is retargeted to the best placeable
+//    peer or dropped — never delivered to a halted device. The router
+//    registers this through Fleet::set_on_unplaceable.
+//
 // The router owns the fleet-level release/reject accounting (the schedulers
 // run in silent mode so a retried job is not double-counted) and feeds
 // per-GPU RoutingCounters in metrics. In-flight transfer deliveries are
@@ -24,10 +39,13 @@
 // simulator runs, as with the release drivers.
 //
 // docs/CLUSTER.md is the policy guide (when each policy wins, the
-// skewed-demand failure mode, threshold semantics).
+// skewed-demand failure mode, threshold semantics, rebalancing hooks).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "cluster/fleet.h"
@@ -57,6 +75,11 @@ struct RouterConfig {
   /// Fleet::relative_load) reaches this fraction.
   double spill_threshold = 0.75;
 
+  /// Attach concurrent cold migrations of one model to the in-flight copy
+  /// instead of shipping duplicate bytes. Off by default so existing runs
+  /// stay byte-identical; cluster rebalancing turns it on.
+  bool coalesce = false;
+
   std::uint64_t seed = 42;
 };
 
@@ -67,6 +90,7 @@ class Router {
   /// Convenience: default spill threshold.
   Router(Fleet& fleet, RoutingPolicy policy, std::uint64_t seed,
          metrics::Collector* collector);
+  ~Router();
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
@@ -90,6 +114,15 @@ class Router {
   std::uint64_t transfers() const { return transfers_; }
   double transferred_mb() const { return transferred_mb_; }
 
+  /// Migrations that attached to an in-flight copy of their model instead
+  /// of shipping it again, and the MB those attachments did not re-ship.
+  std::uint64_t coalesced_transfers() const { return coalesced_; }
+  double coalesced_mb_saved() const { return coalesced_mb_saved_; }
+
+  /// In-flight transfers cancelled because their target failed or drained
+  /// (each job was retargeted to a placeable peer or dropped).
+  std::uint64_t transfer_cancels() const { return transfer_cancels_; }
+
   /// Migrations whose weight transfer is still in flight.
   std::uint64_t pending_transfers() const { return pending_transfers_; }
 
@@ -99,10 +132,45 @@ class Router {
     return i < pending_to_.size() ? pending_to_[i] : 0;
   }
 
- private:
-  int pick(int task_id);
-  /// Best-scoring GPU other than `exclude` (-1 when the fleet has one GPU).
+  /// Best-scoring placeable GPU other than `exclude` (-1 when none). Public
+  /// so the rebalancer shares the router's notion of "best peer".
   int best_peer(int exclude) const;
+
+  // --- rebalancing observers (cluster::Rebalancer) ------------------------
+  //
+  // Both default to unset and cost one branch per release when unset, so a
+  // router without a rebalancer behaves byte-identically to one predating
+  // these hooks.
+
+  /// Called once per released job with its task id — the rebalancer's
+  /// demand-window feed.
+  void set_release_observer(std::function<void(int)> fn) {
+    release_observer_ = std::move(fn);
+  }
+
+  /// Called with the routed GPU when the fleet-wide backlog guard sheds a
+  /// job there — the work-stealing trigger.
+  void set_pressure_observer(std::function<void(int)> fn) {
+    pressure_observer_ = std::move(fn);
+  }
+
+ private:
+  /// One delayed weight transfer (the job rides the copy). `leader` marks
+  /// the record that owns the (peer, model) in-flight entry coalescing
+  /// attaches to.
+  struct PendingRec {
+    int task = -1;
+    int from = -1;
+    int peer = -1;
+    common::Time released = 0;
+    common::Time arrive = 0;
+    double mb = 0.0;
+    bool leader = false;
+    sim::EventHandle handle;
+  };
+  using CoalesceKey = std::pair<int, const dnn::CompiledModel*>;
+
+  int pick(int task_id);
   /// Offers a rejected job to `peer`, shipping weights first when the model
   /// is cold there; `from` is the GPU that rejected it, `released` the
   /// job's original release time (deadlines anchor there, so a transfer
@@ -110,7 +178,22 @@ class Router {
   void migrate(int task_id, int from, int peer, common::Time released);
   /// Transfer-completion half of migrate(): admit-or-drop on the target.
   void deliver(int task_id, int from, int peer, common::Time released);
-  void drop(int task_id, int gpu, common::Time released);
+  void drop(int task_id, int gpu, common::Time released,
+            metrics::EventCause cause = metrics::EventCause::kPeerReject);
+  /// Registers a delayed delivery arriving at `arrive` and bumps the
+  /// pending gauges. Returns the transfer id.
+  std::uint64_t queue_delivery(int task_id, int from, int peer,
+                               common::Time released, common::Time arrive,
+                               double mb, bool leader);
+  /// Delivery event body: pops the record and admits-or-drops the job.
+  void complete_transfer(std::uint64_t id);
+  /// Unwinds one pending record's gauges (and its coalesce entry when it is
+  /// the leader). The record must already be out of `inflight_`.
+  void finish_pending(const PendingRec& rec);
+  /// Fleet on-unplaceable hook: cancels every transfer headed to g and
+  /// retargets (or drops) the jobs riding them, in ascending transfer id
+  /// order.
+  void cancel_transfers_to(int g);
   /// Jobs of the task whose weight transfer is still in flight (registered
   /// in no scheduler yet, so the backlog guards must count them here).
   int pending_jobs(int task_id) const;
@@ -126,9 +209,23 @@ class Router {
   std::uint64_t infeasible_ = 0;
   std::uint64_t transfers_ = 0;
   std::uint64_t pending_transfers_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t transfer_cancels_ = 0;
   double transferred_mb_ = 0.0;
+  double coalesced_mb_saved_ = 0.0;
   std::vector<int> pending_jobs_;  // per task id
   std::vector<int> pending_to_;    // in-flight transfers per target GPU
+  /// In-flight transfers by ascending id — the only iteration order any
+  /// decision uses, so fault-time cancellation is deterministic.
+  std::map<std::uint64_t, PendingRec> inflight_;
+  /// (target GPU, model) -> leader transfer id. Pointer keys are safe here:
+  /// the map is only ever probed/inserted/erased by exact key, never
+  /// iterated for a decision, so address-dependent ordering cannot leak
+  /// into behaviour.
+  std::map<CoalesceKey, std::uint64_t> inflight_copy_;
+  std::uint64_t next_transfer_id_ = 1;
+  std::function<void(int)> release_observer_;
+  std::function<void(int)> pressure_observer_;
 };
 
 }  // namespace daris::cluster

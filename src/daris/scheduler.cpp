@@ -283,6 +283,7 @@ void Scheduler::admit(Task& t, int ctx, std::unique_ptr<JobRuntime> jr) {
 }
 
 void Scheduler::dispatch_eager(int ctx, Job* job) {
+  job->started = true;
   auto& rec = contexts_[static_cast<std::size_t>(ctx)];
   // FIFO into the shallowest stream of the context.
   std::size_t best = 0;
@@ -350,6 +351,7 @@ void Scheduler::dispatch(int ctx, int stream_idx, const ReadyStage& ready) {
   auto& rec = contexts_[static_cast<std::size_t>(ctx)];
   rec.stream_busy[static_cast<std::size_t>(stream_idx)] = true;
   Job* job = ready.job;
+  job->started = true;
   Task& t = *job->task;
   const gpusim::StreamId stream =
       rec.streams[static_cast<std::size_t>(stream_idx)];
@@ -494,6 +496,68 @@ void Scheduler::finish_job(JobRuntime& jr) {
     ev.gpu = device_id_;
     collector_->on_finish(ev);
   }
+}
+
+std::vector<Scheduler::StealableJob> Scheduler::donatable_lp_jobs() const {
+  std::vector<StealableJob> out;
+  if (!config_.staging) return out;  // eager dispatch: everything started
+  for (const auto& [id, jr] : jobs_) {
+    const Job& job = jr->job;
+    if (job.started || job.task->spec().priority != Priority::kLow) continue;
+    StealableJob s;
+    s.job_id = id;
+    s.task_id = job.task->id();
+    s.release = job.release;
+    s.absolute_deadline = job.absolute_deadline;
+    out.push_back(s);
+  }
+  // unordered_map iteration order is unspecified; thieves scan in ascending
+  // job-id order so the steal schedule is deterministic.
+  std::sort(out.begin(), out.end(),
+            [](const StealableJob& a, const StealableJob& b) {
+              return a.job_id < b.job_id;
+            });
+  return out;
+}
+
+bool Scheduler::job_stealable(std::uint64_t job_id) const {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  const Job& job = it->second->job;
+  return !job.started && job.task->spec().priority == Priority::kLow;
+}
+
+bool Scheduler::revoke_job(std::uint64_t job_id) {
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return false;
+  Job& job = it->second->job;
+  if (job.started) return false;  // GPU-side state: too late to donate
+  Task& t = *job.task;
+  auto& rec = contexts_[static_cast<std::size_t>(job.context)];
+
+  // Same utilisation unwind as finish_job — the job leaves the active set —
+  // but with no finish event and no completion count: the job is not done,
+  // it moved to a peer scheduler.
+  if (t.spec().priority == Priority::kLow) {
+    rec.active_lp_util =
+        std::max(0.0, rec.active_lp_util - job.admitted_utilization);
+  } else {
+    rec.active_hp_util =
+        std::max(0.0, rec.active_hp_util - job.admitted_utilization);
+    if (!t.resident()) {
+      rec.migrated_hp_util =
+          std::max(0.0, rec.migrated_hp_util - job.admitted_utilization);
+    }
+  }
+  rec.outstanding_work_us =
+      std::max(0.0, rec.outstanding_work_us - t.mret().total_mret_us());
+  --t.active_jobs;
+
+  const std::size_t removed = rec.ready.remove_job(&job);
+  ready_stages_[static_cast<std::size_t>(t.spec().priority)] -=
+      static_cast<int>(removed);
+  jobs_.erase(it);
+  return true;
 }
 
 std::size_t Scheduler::fail_all_jobs() {

@@ -119,6 +119,39 @@ class Scheduler {
   /// True once fail_all_jobs ran; a failed scheduler admits nothing.
   bool failed() const { return failed_; }
 
+  // --- stage donation / claim (cluster work stealing) ---------------------
+  //
+  // A queued LP job whose first stage has not yet been handed to a stream is
+  // *donatable*: it holds no GPU-side state, so a peer scheduler can claim
+  // it by re-releasing the task with the job's original release time and the
+  // victim revoking its copy. cluster::Rebalancer drives this; both halves
+  // run inside one simulator callback, so the steal schedule inherits the
+  // (when, seq) determinism contract.
+
+  /// Snapshot of one donatable job (identity + the deadline the thief must
+  /// still be able to meet).
+  struct StealableJob {
+    std::uint64_t job_id = 0;
+    int task_id = -1;
+    Time release = 0;
+    Time absolute_deadline = 0;
+  };
+
+  /// Admitted LP jobs still waiting for their first stage to start, in
+  /// ascending job-id order (deterministic scan order for thieves). Empty in
+  /// "No Staging" mode, where admission dispatches eagerly.
+  std::vector<StealableJob> donatable_lp_jobs() const;
+
+  /// True while `job_id` is admitted here and still donatable.
+  bool job_stealable(std::uint64_t job_id) const;
+
+  /// Revokes a donatable job: unwinds the admission accounting (the same
+  /// utilisation unwind as a finish, with no finish event — the job is not
+  /// done, it moved), removes its ready-queue entry, and erases it. The
+  /// caller must have re-released the job elsewhere first; a started or
+  /// unknown job is refused. Returns true when the job was revoked.
+  bool revoke_job(std::uint64_t job_id);
+
   /// Jobs dropped by fail_all_jobs (distinct from jobs_completed()).
   std::uint64_t jobs_failed() const { return jobs_failed_; }
 

@@ -34,4 +34,23 @@ ReadyStage StageQueue::pop() {
   return top;
 }
 
+std::size_t StageQueue::remove_job(const Job* job) {
+  std::vector<ReadyStage> keep;
+  keep.reserve(heap_.size());
+  std::size_t removed = 0;
+  while (!heap_.empty()) {
+    ReadyStage s = heap_.top();
+    heap_.pop();
+    if (s.job == job) {
+      ++removed;
+    } else {
+      keep.push_back(s);
+    }
+  }
+  // Direct pushes keep the survivors' original sequence numbers (the public
+  // push() stamps fresh ones).
+  for (const ReadyStage& s : keep) heap_.push(s);
+  return removed;
+}
+
 }  // namespace daris::rt

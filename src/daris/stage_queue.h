@@ -45,6 +45,15 @@ class StageQueue {
   /// across the failure.
   void clear() { heap_ = {}; }
 
+  /// Removes every queued stage of `job` (work stealing: the job is being
+  /// revoked from this scheduler, so its entries must not survive). Returns
+  /// the number of entries removed. Surviving entries keep their original
+  /// sequence numbers, and the comparator is a strict total order on
+  /// (level, deadline, seq) with unique seq — so pop order depends only on
+  /// the entry *set*, never on the heap's internal array layout, and a
+  /// removal cannot reorder the remaining stages.
+  std::size_t remove_job(const Job* job);
+
  private:
   struct Worse {
     bool operator()(const ReadyStage& a, const ReadyStage& b) const {

@@ -44,6 +44,10 @@ struct Job {
   std::size_t next_stage = 0;
   /// Virtual-deadline miss of the previous stage (drives priority boost).
   bool prev_stage_missed = false;
+  /// Set when the job's first stage is handed to a stream. A started job has
+  /// GPU-side state and can no longer be donated to a peer scheduler
+  /// (Scheduler::donatable_lp_jobs / revoke_job).
+  bool started = false;
   /// Utilisation u_i(t) charged by the admission test while active.
   double admitted_utilization = 0.0;
   int context = -1;

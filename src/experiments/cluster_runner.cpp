@@ -62,61 +62,22 @@ std::vector<int> assign_homes(const ClusterConfig& config,
     // and its tasks are least-fill balanced across those hosts, so the HP
     // tasks (listed first per kind) spread instead of piling onto the first
     // host. Fair shares are proportional to compute scale, so a flagship
-    // hosts more load than a half-size card.
-    auto task_load = [&](std::size_t i) {
-      return work_per_job[i] * 1.0e9 /
-             static_cast<double>(
-                 std::max<common::Duration>(tasks[i].period, 1));
-    };
-    double total_load = 0.0;
-    std::map<dnn::ModelKind, double> kind_load;
+    // hosts more load than a half-size card. The algorithm itself lives in
+    // cluster::pack_homes, which the rebalancer replays against *measured*
+    // demand mid-run; here nominal rates (1/period) feed it.
+    std::vector<double> task_load(tasks.size(), 0.0);
+    std::vector<int> task_kind(tasks.size(), 0);
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      total_load += task_load(i);
-      kind_load[tasks[i].model] += task_load(i);
+      task_load[i] = work_per_job[i] * 1.0e9 /
+                     static_cast<double>(
+                         std::max<common::Duration>(tasks[i].period, 1));
+      task_kind[i] = static_cast<int>(tasks[i].model);
     }
-    double total_scale = 0.0;
-    for (int g = 0; g < n; ++g) total_scale += fleet.compute_scale(g);
-    std::vector<double> fair(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> device_scale(static_cast<std::size_t>(n), 0.0);
     for (int g = 0; g < n; ++g) {
-      fair[static_cast<std::size_t>(g)] =
-          std::max(1e-9, total_load * fleet.compute_scale(g) / total_scale);
+      device_scale[static_cast<std::size_t>(g)] = fleet.compute_scale(g);
     }
-    std::vector<double> assigned(static_cast<std::size_t>(n), 0.0);
-    auto fill = [&](int g) {
-      return assigned[static_cast<std::size_t>(g)] /
-             fair[static_cast<std::size_t>(g)];
-    };
-    // Heaviest kinds claim their hosts first (deterministic tie-break on
-    // the enum order the map already provides).
-    std::vector<dnn::ModelKind> kinds;
-    kinds.reserve(kind_load.size());
-    for (const auto& [kind, load] : kind_load) kinds.push_back(kind);
-    std::stable_sort(kinds.begin(), kinds.end(),
-                     [&](dnn::ModelKind a, dnn::ModelKind b) {
-                       return kind_load.at(a) > kind_load.at(b);
-                     });
-    for (const dnn::ModelKind kind : kinds) {
-      const int host_count = std::clamp(
-          static_cast<int>(
-              std::ceil(kind_load.at(kind) * n / total_load)),
-          1, n);
-      // The kind's hosts: the `host_count` least-filled devices.
-      std::vector<int> order(static_cast<std::size_t>(n));
-      for (int g = 0; g < n; ++g) order[static_cast<std::size_t>(g)] = g;
-      std::stable_sort(order.begin(), order.end(),
-                       [&](int a, int b) { return fill(a) < fill(b); });
-      order.resize(static_cast<std::size_t>(host_count));
-      for (std::size_t i = 0; i < tasks.size(); ++i) {
-        if (tasks[i].model != kind) continue;
-        int best = order.front();
-        for (const int g : order) {
-          if (fill(g) < fill(best)) best = g;
-        }
-        homes[i] = best;
-        assigned[static_cast<std::size_t>(best)] += task_load(i);
-      }
-    }
-    return homes;
+    return cluster::pack_homes(task_load, task_kind, device_scale);
   }
 
   // Every other policy stripes tasks across the fleet.
@@ -256,6 +217,8 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   cluster::RouterConfig router_cfg;
   router_cfg.policy = config.routing;
   router_cfg.spill_threshold = config.spill_threshold;
+  router_cfg.coalesce =
+      config.rebalance.enabled && config.rebalance.coalesce;
   router_cfg.seed = config.seed ^ 0x90C7E6ull;
   cluster::Router router(fleet, router_cfg, &collector);
   workload::ReleaseFn to_router = [&router](int id) { router.release(id); };
@@ -323,6 +286,15 @@ ClusterResult run_cluster(const ClusterConfig& config) {
         break;
     }
   }
+
+  // Self-healing rebalancer, armed only when configured: started after the
+  // fault schedule (its periodic demand tick is then the last setup draw of
+  // sequence numbers before telemetry) and before the telemetry sampler, so
+  // the telemetry-inert contract is preserved — sampler registration stays
+  // the final setup step whether or not rebalancing is on.
+  cluster::Rebalancer rebalancer(sim, fleet, router, config.rebalance,
+                                 &collector);
+  rebalancer.start(horizon);
 
   // Telemetry sampler: tracks registered up front for every device the run
   // can ever hold (initial fleet + scheduled kAdd scale-ups; probes for a
@@ -412,6 +384,14 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   result.infeasible_rejects = router.infeasible_rejects();
   result.transfers = router.transfers();
   result.transferred_mb = router.transferred_mb();
+  result.rebalancing = config.rebalance.enabled;
+  result.steals = rebalancer.steals();
+  result.steal_scans = rebalancer.steal_scans();
+  result.rehomes = rebalancer.rehomes();
+  result.rehome_rounds = rebalancer.rehome_rounds();
+  result.coalesced_transfers = router.coalesced_transfers();
+  result.coalesced_mb_saved = router.coalesced_mb_saved();
+  result.transfer_cancels = router.transfer_cancels();
   result.intra_gpu_migrations = fleet.intra_gpu_migrations();
   result.arrivals = open_loop      ? open_loop->arrivals()
                     : trace_driver ? trace_driver->arrivals()

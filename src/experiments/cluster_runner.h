@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/rebalancer.h"
 #include "cluster/router.h"
 #include "experiments/runner.h"
 #include "metrics/eventlog.h"
@@ -75,6 +76,13 @@ struct ClusterConfig {
   std::uint64_t seed = 42;
   bool stage_trace = false;
 
+  /// Self-healing rebalancing (cluster/rebalancer.h): work stealing,
+  /// demand-aware re-homing, and — via RouterConfig::coalesce — transfer
+  /// coalescing, all armed by rebalance.enabled. The default (disabled)
+  /// config schedules no events and installs no observers, leaving the run
+  /// byte-identical to one predating the rebalancer.
+  cluster::RebalanceConfig rebalance;
+
   /// Telemetry (docs/OBSERVABILITY.md). When enabled, run_cluster arms a
   /// metrics::TimeSeries sampler over per-GPU and fleet gauges and turns on
   /// the collector's structured event log; both land in ClusterResult.
@@ -112,6 +120,21 @@ struct ClusterResult {
   double transferred_mb = 0.0;           // total weight MB shipped
   std::uint64_t intra_gpu_migrations = 0;
   std::uint64_t arrivals = 0;  // open-loop + trace modes; 0 for periodic
+  /// Rebalancing outcomes (all zero unless ClusterConfig::rebalance.enabled;
+  /// `rebalancing` records the switch so reports can tell "off" from
+  /// "on but idle").
+  bool rebalancing = false;
+  std::uint64_t steals = 0;         // queued LP jobs claimed by peers
+  std::uint64_t steal_scans = 0;    // backlog-triggered scans executed
+  std::uint64_t rehomes = 0;        // demand-driven home moves
+  std::uint64_t rehome_rounds = 0;  // rounds that moved at least one home
+  std::uint64_t coalesced_transfers = 0;  // migrations that attached to an
+                                          // in-flight weight copy
+  double coalesced_mb_saved = 0.0;        // MB those attachments did not ship
+  /// In-flight transfers cancelled at a fault and retargeted or dropped
+  /// (counted regardless of rebalance.enabled — cancellation is a
+  /// correctness fix, not an opt-in policy).
+  std::uint64_t transfer_cancels = 0;
   /// In-flight jobs shed by fail-stop faults (each also a missed finish).
   std::uint64_t jobs_lost = 0;
   /// Trace rows skipped because no task serves their (model, SLO) class.

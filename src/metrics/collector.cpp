@@ -47,9 +47,28 @@ void Collector::log_fault(Time when, int gpu, EventCause cause,
 }
 
 void Collector::log_rehome(Time when, int from_gpu, int to_gpu, int task) {
+  log_rehome(when, from_gpu, to_gpu, task, EventCause::kNone);
+}
+
+void Collector::log_rehome(Time when, int from_gpu, int to_gpu, int task,
+                           EventCause cause) {
   if (event_log_) {
-    event_log_->append(when, EventKind::kRehome, EventCause::kNone, from_gpu,
-                       to_gpu, task);
+    event_log_->append(when, EventKind::kRehome, cause, from_gpu, to_gpu,
+                       task);
+  }
+}
+
+void Collector::log_steal(Time when, int victim, int thief, int task) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kSteal, EventCause::kBacklogSteal,
+                       victim, thief, task);
+  }
+}
+
+void Collector::log_coalesce(Time when, int to_gpu, int task, double mb) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kCoalesce, EventCause::kCoalesced,
+                       to_gpu, -1, task, mb);
   }
 }
 
@@ -116,6 +135,17 @@ void Collector::on_transfer(int to_gpu, double mb) {
   auto& r = routing_[static_cast<std::size_t>(to_gpu)];
   ++r.transfers_in;
   r.transferred_mb += mb;
+}
+
+void Collector::on_steal(int victim, int thief) {
+  ++routing_[static_cast<std::size_t>(victim)].steals_out;
+  ++routing_[static_cast<std::size_t>(thief)].steals_in;
+}
+
+void Collector::on_coalesce(int to_gpu, double mb) {
+  auto& r = routing_[static_cast<std::size_t>(to_gpu)];
+  ++r.coalesced;
+  r.coalesced_mb += mb;
 }
 
 RoutingCounters Collector::fleet_routing() const {

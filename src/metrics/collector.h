@@ -80,6 +80,11 @@ struct RoutingCounters {
                                    // (charged to the task's home GPU)
   std::uint64_t transfers_in = 0;  // cross-GPU weight transfers landing here
   double transferred_mb = 0.0;     // MB shipped into this GPU by migrations
+  std::uint64_t steals_in = 0;     // queued LP jobs claimed by this GPU
+  std::uint64_t steals_out = 0;    // queued LP jobs claimed off this GPU
+  std::uint64_t coalesced = 0;     // migrations here that attached to an
+                                   // in-flight weight copy
+  double coalesced_mb = 0.0;       // MB those attachments did NOT re-ship
 
   RoutingCounters& operator+=(const RoutingCounters& o) {
     routed += o.routed;
@@ -90,6 +95,10 @@ struct RoutingCounters {
     infeasible += o.infeasible;
     transfers_in += o.transfers_in;
     transferred_mb += o.transferred_mb;
+    steals_in += o.steals_in;
+    steals_out += o.steals_out;
+    coalesced += o.coalesced;
+    coalesced_mb += o.coalesced_mb;
     return *this;
   }
 };
@@ -129,6 +138,11 @@ class Collector {
   void on_infeasible(int gpu);
   /// A migration shipped `mb` of model weights onto `to_gpu`.
   void on_transfer(int to_gpu, double mb);
+  /// A queued LP job was claimed off `victim` by `thief` (work stealing).
+  void on_steal(int victim, int thief);
+  /// A migration to `to_gpu` attached to an in-flight weight copy instead of
+  /// re-shipping `mb`.
+  void on_coalesce(int to_gpu, double mb);
 
   // --- structured event log (metrics/eventlog.h) -------------------------
   //
@@ -151,7 +165,13 @@ class Collector {
   void log_transfer(Time when, int to_gpu, int task, double mb);
   void log_fault(Time when, int gpu, EventCause cause, double value);
   void log_rehome(Time when, int from_gpu, int to_gpu, int task);
+  /// Rehome with an explicit cause (kDemandShift for the rebalancer's
+  /// periodic moves; the overload above logs fault-driven rehomes as kNone).
+  void log_rehome(Time when, int from_gpu, int to_gpu, int task,
+                  EventCause cause);
   void log_drain(Time when, int gpu);
+  void log_steal(Time when, int victim, int thief, int task);
+  void log_coalesce(Time when, int to_gpu, int task, double mb);
 
   int gpu_count() const { return static_cast<int>(routing_.size()); }
   const RoutingCounters& routing(int gpu) const {

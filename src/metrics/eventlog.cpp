@@ -21,6 +21,10 @@ const char* event_kind_name(EventKind k) {
       return "rehome";
     case EventKind::kDrain:
       return "drain";
+    case EventKind::kSteal:
+      return "steal";
+    case EventKind::kCoalesce:
+      return "coalesce";
   }
   return "?";
 }
@@ -49,6 +53,14 @@ const char* event_cause_name(EventCause c) {
       return "scale-up";
     case EventCause::kScaleDown:
       return "scale-down";
+    case EventCause::kBacklogSteal:
+      return "backlog-steal";
+    case EventCause::kCoalesced:
+      return "coalesced";
+    case EventCause::kDemandShift:
+      return "demand-shift";
+    case EventCause::kRetarget:
+      return "retarget";
   }
   return "?";
 }
@@ -92,6 +104,19 @@ std::vector<RoutingCounters> EventLog::fold_routing(int gpu_count) const {
         if (auto* c = at(ev.gpu)) {
           ++c->transfers_in;
           c->transferred_mb += ev.value;
+        }
+        break;
+      case EventKind::kSteal:
+        // Claimed off `gpu` (the victim) by `peer` (the thief).
+        if (auto* c = at(ev.gpu)) ++c->steals_out;
+        if (auto* c = at(ev.peer)) ++c->steals_in;
+        break;
+      case EventKind::kCoalesce:
+        // A duplicate copy to `gpu` attached to the in-flight one; value is
+        // the MB it did not re-ship.
+        if (auto* c = at(ev.gpu)) {
+          ++c->coalesced;
+          c->coalesced_mb += ev.value;
         }
         break;
       case EventKind::kFault:

@@ -36,6 +36,9 @@ enum class EventKind : std::uint8_t {
   kFault,     // device lifecycle change (fail / slow / scale-up)
   kRehome,    // task's home reservation moved from `gpu` to `peer`
   kDrain,     // device entered graceful scale-down
+  kSteal,     // queued LP job claimed by `peer` off `gpu`'s ready queue
+  kCoalesce,  // migration attached to an in-flight weight copy to `gpu`
+              // (value = MB the coalesced transfer did NOT re-ship)
 };
 
 /// Why the event happened; kinds use the subset that applies to them.
@@ -51,6 +54,11 @@ enum class EventCause : std::uint8_t {
   kStraggler,   // kFault: compute scale multiplied; value = factor
   kScaleUp,     // kFault: device joined the fleet mid-run
   kScaleDown,   // kDrain: graceful scale-down began
+  kBacklogSteal,  // kSteal: victim's backlog guard tripped the scan
+  kCoalesced,     // kCoalesce: duplicate copy attached to the in-flight one
+  kDemandShift,   // kRehome: periodic demand-aware re-homing moved the task
+  kRetarget,      // kTransfer/kReject: in-flight transfer's target became
+                  // unplaceable; the job was re-migrated or dropped
 };
 
 const char* event_kind_name(EventKind k);

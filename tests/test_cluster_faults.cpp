@@ -20,13 +20,15 @@ using common::Priority;
 
 /// Same deterministic fixture as test_cluster.cpp: jitter-free fleet,
 /// single-context single-stream GPUs, one shared ResNet18 model,
-/// zero-delay transfers, directly chosen AFET.
+/// zero-delay transfers (tests of in-flight cancellation pass a rate),
+/// directly chosen AFET.
 struct Harness {
-  explicit Harness(int num_gpus, int num_contexts = 1) {
+  explicit Harness(int num_gpus, int num_contexts = 1,
+                   double transfer_us_per_mb = 0.0) {
     FleetConfig cfg;
     cfg.num_gpus = num_gpus;
     cfg.gpu.jitter_cv = 0.0;
-    cfg.transfer_us_per_mb = 0.0;
+    cfg.transfer_us_per_mb = transfer_us_per_mb;
     cfg.sched.policy = rt::Policy::kMps;
     cfg.sched.num_contexts = num_contexts;
     model = std::make_unique<dnn::CompiledModel>(
@@ -148,6 +150,91 @@ TEST(FleetFaults, DrainCompletesInFlightWork) {
   h.fleet->fail_gpu_now(1);
   h.fleet->drain_gpu_now(1);
   EXPECT_EQ(h.fleet->health(1), GpuHealth::kFailed);
+}
+
+// --- in-flight transfers across faults -------------------------------------
+
+TEST(FleetFaults, FailCancelsInFlightTransferAndRetargetsTheJob) {
+  Harness h(3, /*num_contexts=*/1, /*transfer_us_per_mb=*/100.0);
+  const int a = h.add_task(Priority::kLow, 9000.0, 0);
+  const int b = h.add_task(Priority::kLow, 9000.0, 0);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kModelAffinity, 1, &h.collector);
+  router.release(a);
+  router.release(b);  // rejected on 0, cold-migrating to the idle GPU 1
+  ASSERT_EQ(router.pending_transfers(), 1u);
+  ASSERT_EQ(router.pending_transfers_to(1), 1);
+
+  // The target dies mid-copy. The transfer must be cancelled at the fault
+  // instant — not delivered to the dead device later — and the job riding
+  // it retargeted to the surviving peer (a fresh copy: the bytes already
+  // shipped toward GPU 1 are sunk).
+  h.fleet->fail_gpu_now(1);
+  EXPECT_EQ(router.transfer_cancels(), 1u);
+  EXPECT_EQ(router.pending_transfers_to(1), 0);
+  EXPECT_EQ(router.pending_transfers(), 1u);  // the retargeted copy to GPU 2
+  EXPECT_EQ(router.transfers(), 2u);
+  EXPECT_EQ(router.drops(), 0u);
+
+  h.sim.run();
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_in_flight(), 0u);
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_completed(), 0u);
+  EXPECT_EQ(h.fleet->scheduler(2).jobs_completed(), 1u);
+  EXPECT_EQ(router.cross_gpu_migrations(), 1u);
+  EXPECT_EQ(h.collector.summary(Priority::kLow).completed, 2u);
+}
+
+TEST(FleetFaults, DrainCancelsInFlightTransferToo) {
+  Harness h(3, /*num_contexts=*/1, /*transfer_us_per_mb=*/100.0);
+  const int a = h.add_task(Priority::kLow, 9000.0, 0);
+  const int b = h.add_task(Priority::kLow, 9000.0, 0);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kModelAffinity, 1, &h.collector);
+  router.release(a);
+  router.release(b);
+  ASSERT_EQ(router.pending_transfers_to(1), 1);
+
+  // Draining is graceful for work already *on* the device, but a transfer
+  // still in flight has nothing there yet — it must be redirected like a
+  // fail-stop, or the delivery would place new work on a draining GPU.
+  h.fleet->drain_gpu_now(1);
+  EXPECT_EQ(router.transfer_cancels(), 1u);
+  EXPECT_EQ(router.pending_transfers_to(1), 0);
+
+  h.sim.run();
+  EXPECT_EQ(h.fleet->scheduler(1).jobs_completed(), 0u);
+  EXPECT_EQ(h.fleet->scheduler(2).jobs_completed(), 1u);
+  EXPECT_EQ(h.collector.summary(Priority::kLow).completed, 2u);
+  EXPECT_EQ(h.collector.summary(Priority::kLow).rejected, 0u);
+}
+
+TEST(FleetFaults, CancelledTransferWithNoSurvivorDropsTheJob) {
+  Harness h(2, /*num_contexts=*/1, /*transfer_us_per_mb=*/100.0);
+  const int a = h.add_task(Priority::kLow, 9000.0, 0);
+  const int b = h.add_task(Priority::kLow, 9000.0, 0);
+  h.fleet->run_offline_phase();
+  Router router(*h.fleet, RoutingPolicy::kModelAffinity, 1, &h.collector);
+  router.release(a);
+  router.release(b);
+  ASSERT_EQ(router.pending_transfers(), 1u);
+
+  // GPU 1 fails; the only other device is the one that already rejected the
+  // job, so the retarget bounces off it and the job is dropped — cleanly,
+  // with the pending gauges unwound.
+  h.fleet->fail_gpu_now(1);
+  EXPECT_EQ(router.transfer_cancels(), 1u);
+  EXPECT_EQ(router.pending_transfers(), 0u);
+  EXPECT_EQ(router.drops(), 1u);
+
+  // The pending-job gauge was unwound with the cancellation: once GPU 0
+  // frees up, the task's next release is admitted at home rather than shed
+  // by the backlog guard counting a phantom in-flight duplicate.
+  h.sim.run();
+  router.release(b);
+  EXPECT_EQ(router.drops(), 1u);
+  EXPECT_EQ(h.fleet->scheduler(0).jobs_in_flight(), 1u);
+  h.sim.run();
+  EXPECT_EQ(h.collector.summary(Priority::kLow).completed, 2u);
 }
 
 // --- straggler ------------------------------------------------------------
