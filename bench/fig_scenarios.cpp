@@ -19,6 +19,7 @@
 // Exit status: 0 when every check passes and every contract holds, 1
 // otherwise.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -60,6 +61,9 @@ struct ScenarioRow {
   bool deterministic = false;        // behaviour digest repeats
   bool telemetry_deterministic = false;  // telemetry digest repeats
   bool telemetry_inert = false;      // telemetry-off digest matches
+  bool sharded = false;              // --sharded replay ran
+  bool sharded_matches = false;      // sharded fingerprint + digest match
+  std::string sharded_fingerprint;
 };
 
 void write_json(std::ostream& os, const std::vector<ScenarioRow>& rows) {
@@ -84,6 +88,12 @@ void write_json(std::ostream& os, const std::vector<ScenarioRow>& rows) {
        << "      \"telemetry_digest\": \"" << digest << "\",\n"
        << "      \"fingerprint\": \"" << json_escape(r.fingerprint)
        << "\",\n";
+    if (row.sharded) {
+      os << "      \"sharded_matches\": "
+         << (row.sharded_matches ? "true" : "false") << ",\n"
+         << "      \"sharded_fingerprint\": \""
+         << json_escape(row.sharded_fingerprint) << "\",\n";
+    }
     os << "      \"metrics\": {";
     bool first = true;
     for (const auto& [key, value] : r.metrics) {
@@ -138,6 +148,10 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string telemetry_dir;
   bool show_profile = false;
+  bool sharded = false;
+  // 2 lanes forces real cross-thread execution even on one-core CI boxes;
+  // --sharded-threads 0 picks min(hardware_concurrency, device count).
+  int sharded_threads = 2;
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -156,6 +170,14 @@ int main(int argc, char** argv) {
       telemetry_dir = value();
     } else if (arg == "--profile") {
       show_profile = true;
+    } else if (arg == "--sharded") {
+      // Replays every scenario on the sharded engine (sim/sharded.h) and
+      // requires the behaviour fingerprint AND telemetry digest to match the
+      // single-simulator run bit-for-bit.
+      sharded = true;
+    } else if (arg == "--sharded-threads") {
+      sharded = true;
+      sharded_threads = std::atoi(value());
     } else if (arg == "--log") {
       // Fleet fault/rehome paths narrate at info (docs/OBSERVABILITY.md);
       // the default warn threshold keeps the table output clean.
@@ -169,7 +191,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--data-dir DIR] [--json FILE] [--telemetry DIR] "
-          "[--profile] [--log LEVEL] [SCENARIO]...\n",
+          "[--profile] [--sharded] [--sharded-threads N] [--log LEVEL] "
+          "[SCENARIO]...\n",
           argv[0]);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -198,6 +221,17 @@ int main(int argc, char** argv) {
     const exp::ScenarioResult again = exp::run_scenario(name, data_dir, &topts);
     const exp::ScenarioResult bare = exp::run_scenario(name, data_dir);
     row.deterministic = r.fingerprint == again.fingerprint;
+    if (sharded) {
+      const exp::ScenarioSharding shopts{sharded_threads};
+      const exp::ScenarioResult shr =
+          exp::run_scenario(name, data_dir, &topts, &shopts);
+      row.sharded = true;
+      row.sharded_fingerprint = shr.fingerprint;
+      // Telemetry digest included: the sampler/event-log capture must be
+      // insensitive to sharding, not just the end-of-run counters.
+      row.sharded_matches = shr.fingerprint == r.fingerprint &&
+                            shr.telemetry_digest == r.telemetry_digest;
+    }
     // The digest covers the full series/events/fingerprint content; the
     // telemetry JSON itself also embeds host wall-clock (profile), which is
     // legitimately run-dependent, so the digest is the comparison.
@@ -219,9 +253,14 @@ int main(int argc, char** argv) {
                    row.telemetry_deterministic ? "PASS" : "FAIL"});
     table.add_row({"telemetry inert", row.telemetry_inert ? "yes" : "no",
                    "yes", row.telemetry_inert ? "PASS" : "FAIL"});
+    if (row.sharded) {
+      table.add_row({"sharded matches", row.sharded_matches ? "yes" : "no",
+                     "yes", row.sharded_matches ? "PASS" : "FAIL"});
+    }
     std::printf("%s", table.to_string().c_str());
     const bool ok = r.pass && row.deterministic &&
-                    row.telemetry_deterministic && row.telemetry_inert;
+                    row.telemetry_deterministic && row.telemetry_inert &&
+                    (!row.sharded || row.sharded_matches);
     std::printf("   %s: %s\n\n", r.name.c_str(), ok ? "PASS" : "FAIL");
     if (show_profile) {
       std::printf("%s\n", r.cluster.profile.to_string().c_str());

@@ -193,6 +193,7 @@ class State {
   StateIterator end() { return StateIterator(this, 0); }
 
   std::int64_t range(std::size_t i = 0) const { return args_.at(i); }
+  std::size_t range_count() const { return args_.size(); }
   std::size_t iterations() const { return max_iterations_; }
   void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
 

@@ -15,6 +15,14 @@ disappeared fail, so a silently dropped shape cannot fake a green gate.
 Both files must come from release-built harnesses: the committed baseline
 records `library_build_type` in its context, and this script refuses to
 compare debug-harness numbers (see README "Benchmarking methodology").
+
+The sharded fleet shapes (`BM_ClusterFleetOpenLoop/N/T`: N GPUs, T worker
+threads on the sharded engine) additionally get a within-run speedup report
+against their single-simulator sibling `BM_ClusterFleetOpenLoop/N` — the
+one comparison that is machine-independent, since both shapes ran on the
+same box seconds apart. Advisory, not gated: the expected ratio depends on
+the runner's core count (a single-core runner can only show barrier
+overhead; the >= 2x target applies when hardware cores >= T).
 """
 
 import argparse
@@ -79,6 +87,18 @@ def main():
               f" {ratio:>7.2f}x{flag}")
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:<{width}} {'(new)':>14} {current[name]:>14.4g}")
+
+    # Within-run sharded-vs-single speedup (advisory; see module docstring).
+    sharded = [n for n in sorted(current)
+               if n.startswith("BM_ClusterFleetOpenLoop/")
+               and n.count("/") == 2]
+    for name in sharded:
+        single = name.rsplit("/", 1)[0]
+        if single in current and current[single] > 0:
+            ratio = current[name] / current[single]
+            threads = name.rsplit("/", 1)[1]
+            print(f"sharded speedup {name} vs {single}: {ratio:.2f}x "
+                  f"({threads} worker threads on this runner)")
 
     if failures:
         print("\nperf gate FAILED:")

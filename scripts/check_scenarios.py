@@ -33,12 +33,14 @@ def load(path):
         return json.load(f)
 
 
-def run_bench(bench, data_dir, json_path, telemetry_dir=None):
+def run_bench(bench, data_dir, json_path, telemetry_dir=None, sharded=False):
     cmd = [bench, "--json", json_path]
     if data_dir:
         cmd += ["--data-dir", data_dir]
     if telemetry_dir:
         cmd += ["--telemetry", telemetry_dir]
+    if sharded:
+        cmd += ["--sharded"]
     # The driver's own exit status is ignored here; the gate re-derives
     # pass/fail from the JSON so the two can never disagree silently.
     proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -60,6 +62,13 @@ def main():
     parser.add_argument("--telemetry", help="with --bench: directory for the "
                         "per-scenario telemetry + Perfetto artifacts "
                         "(validated separately by check_telemetry.py)")
+    parser.add_argument("--sharded", action="store_true",
+                        help="also replay every scenario on the sharded "
+                        "engine and fail unless its fingerprint and "
+                        "telemetry digest match the single-simulator run "
+                        "bit-for-bit (with --bench passes --sharded to the "
+                        "driver; with --json alone requires the report to "
+                        "carry the sharded_matches fields)")
     args = parser.parse_args()
 
     if not args.bench and not args.json:
@@ -73,7 +82,7 @@ def main():
             tmp.close()
             json_path = tmp.name
         if not run_bench(args.bench, args.data_dir, json_path,
-                         args.telemetry):
+                         args.telemetry, args.sharded):
             return 1
 
     doc = load(json_path)
@@ -89,6 +98,15 @@ def main():
         name = s.get("name", "?")
         if not s.get("deterministic", False):
             failures.append(f"{name}: NOT bit-identical across repeat runs")
+        if args.sharded:
+            if "sharded_matches" not in s:
+                failures.append(
+                    f"{name}: report carries no sharded replay — driver "
+                    f"run without --sharded?")
+            elif not s["sharded_matches"]:
+                failures.append(
+                    f"{name}: sharded fingerprint/telemetry digest differs "
+                    f"from the single-simulator baseline")
         for c in s.get("checks", []):
             if not c.get("pass", False):
                 failures.append(
@@ -98,7 +116,9 @@ def main():
     print(f"{len(scenarios)} scenarios, "
           f"{sum(1 for s in scenarios if s.get('pass'))} within thresholds, "
           f"{sum(1 for s in scenarios if s.get('deterministic'))} "
-          "deterministic")
+          "deterministic"
+          + (f", {sum(1 for s in scenarios if s.get('sharded_matches'))} "
+             "sharded-bit-identical" if args.sharded else ""))
 
     if tmp is not None:
         os.unlink(tmp.name)

@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "metrics/eventlog.h"
+#include "sim/sharded.h"
 
 namespace daris::cluster {
 
@@ -25,6 +26,25 @@ Fleet::Fleet(sim::Simulator& sim, const FleetConfig& config,
       collector_(collector),
       seed_rng_(config.seed),
       transfer_us_per_mb_(std::max(0.0, config.transfer_us_per_mb)) {
+  init(config);
+}
+
+Fleet::Fleet(sim::ShardedSimulator& sharded, const FleetConfig& config,
+             metrics::Collector* collector)
+    : sim_(sharded.control()),
+      sharded_(&sharded),
+      collector_(collector),
+      seed_rng_(config.seed),
+      transfer_us_per_mb_(std::max(0.0, config.transfer_us_per_mb)) {
+  init(config);
+  assert(sharded.device_shards() == 0 || sharded.device_shards() == size());
+}
+
+sim::Simulator& Fleet::device_sim(int g) {
+  return sharded_ ? sharded_->device_sim(g) : sim_;
+}
+
+void Fleet::init(const FleetConfig& config) {
   if (config.nodes.empty()) {
     const int n = std::max(1, config.num_gpus);
     nodes_.reserve(static_cast<std::size_t>(n));
@@ -48,10 +68,11 @@ Fleet::Fleet(sim::Simulator& sim, const FleetConfig& config,
   hot_models_.assign(n, {});
   memory_used_mb_.assign(n, 0.0);
   for (std::size_t g = 0; g < n; ++g) {
-    gpus_.push_back(std::make_unique<gpusim::Gpu>(sim_, nodes_[g].resolved(),
-                                                  seed_rng_.next_u64()));
+    sim::Simulator& dev_sim = device_sim(static_cast<int>(g));
+    gpus_.push_back(std::make_unique<gpusim::Gpu>(
+        dev_sim, nodes_[g].resolved(), seed_rng_.next_u64()));
     schedulers_.push_back(std::make_unique<rt::Scheduler>(
-        sim_, *gpus_.back(), sched_cfg_, collector_));
+        dev_sim, *gpus_.back(), sched_cfg_, collector_));
     schedulers_.back()->set_device_id(static_cast<int>(g));
   }
 }
@@ -268,14 +289,25 @@ int Fleet::add_gpu_now(const GpuNodeSpec& node) {
   health_.push_back(GpuHealth::kHealthy);
   hot_models_.emplace_back();
   memory_used_mb_.push_back(0.0);
-  gpus_.push_back(std::make_unique<gpusim::Gpu>(sim_, node.resolved(),
+  // Sharded fleets grow a fresh device shard (clock pre-advanced to the
+  // fleet's now) so the new device's local events parallelise like every
+  // other; add_gpu_now runs from a control-shard event, which is exactly
+  // the phase add_shard() requires.
+  if (sharded_ && sharded_->device_shards() > 0) {
+    const int s = sharded_->add_shard();
+    (void)s;
+    assert(s == g);
+  }
+  sim::Simulator& dev_sim = device_sim(g);
+  gpus_.push_back(std::make_unique<gpusim::Gpu>(dev_sim, node.resolved(),
                                                 seed_rng_.next_u64()));
   schedulers_.push_back(std::make_unique<rt::Scheduler>(
-      sim_, *gpus_.back(), sched_cfg_, collector_));
+      dev_sim, *gpus_.back(), sched_cfg_, collector_));
   schedulers_.back()->set_device_id(g);
   if (collector_ && collector_->gpu_count() > 0) {
     collector_->grow_gpu_count(g + 1);
   }
+  if (collector_) collector_->grow_lanes(g + 1);
   // Register every logical task on the new device, non-resident (homes do
   // not move on scale-up; load reaches the device through routing). Task
   // ids line up with every other scheduler by construction.

@@ -38,6 +38,10 @@
 #include "metrics/eventlog.h"
 #include "sim/simulator.h"
 
+namespace daris::sim {
+class ShardedSimulator;
+}
+
 namespace daris::cluster {
 
 /// One device of a (possibly heterogeneous) fleet.
@@ -93,10 +97,26 @@ class Fleet {
   Fleet(sim::Simulator& sim, const FleetConfig& config,
         metrics::Collector* collector);
 
+  /// Sharded construction: device g's GPU + scheduler live on
+  /// `sharded.device_sim(g)` and their local events run in the parallel
+  /// phase; everything fleet-scoped (fault timers, rehoming, the router and
+  /// rebalancer via simulator()) stays on the control shard. With zero
+  /// device shards this is exactly the single-simulator constructor. The
+  /// fleet must be sized to the shard count: device_shards() must equal the
+  /// configured device count (or be 0).
+  Fleet(sim::ShardedSimulator& sharded, const FleetConfig& config,
+        metrics::Collector* collector);
+
   Fleet(const Fleet&) = delete;
   Fleet& operator=(const Fleet&) = delete;
 
+  /// The control-shard simulator (the only simulator in unsharded fleets):
+  /// cross-device event timelines — routing, transfers, faults — live here.
   sim::Simulator& simulator() { return sim_; }
+
+  /// The simulator device g's GPU and scheduler schedule on. Identical to
+  /// simulator() in unsharded fleets.
+  sim::Simulator& device_sim(int g);
   int size() const { return static_cast<int>(gpus_.size()); }
 
   gpusim::Gpu& gpu(int g) { return *gpus_[static_cast<std::size_t>(g)]; }
@@ -279,7 +299,10 @@ class Fleet {
   /// elsewhere; if no placeable device remains, homes stay and feasible()
   /// sheds the releases.
   void rehome_tasks_from(int g);
+  /// Shared tail of both constructors (runs after sim_/sharded_ are set).
+  void init(const FleetConfig& config);
   sim::Simulator& sim_;
+  sim::ShardedSimulator* sharded_ = nullptr;  // null: single-simulator fleet
   std::vector<GpuNodeSpec> nodes_;
   std::vector<std::unique_ptr<gpusim::Gpu>> gpus_;
   std::vector<std::unique_ptr<rt::Scheduler>> schedulers_;

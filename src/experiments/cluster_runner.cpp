@@ -8,6 +8,7 @@
 
 #include "daris/offline.h"
 #include "dnn/zoo.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 
 namespace daris::exp {
@@ -114,11 +115,24 @@ ClusterResult run_cluster(const ClusterConfig& config) {
                std::chrono::steady_clock::now() - t0)
         .count();
   };
-  sim::Simulator sim;
+  // The facade is constructed unconditionally: with zero device shards it
+  // degenerates to the single-threaded engine bit-for-bit, so the unsharded
+  // path stays byte-identical to runs predating sharding.
+  const int devices = config.nodes.empty()
+                          ? std::max(1, config.num_gpus)
+                          : static_cast<int>(config.nodes.size());
+  sim::ShardedSimulator sharded_sim(config.sharded ? devices : 0,
+                                    config.sim_threads);
+  sim::Simulator& sim = sharded_sim.control();
 
   metrics::Collector collector;
   collector.set_measure_start(common::from_sec(config.warmup_s));
   collector.enable_stage_trace(config.stage_trace);
+  if (config.sharded) {
+    // Device-shard events report finishes/stages from worker threads; lanes
+    // give each device a private append target (merged after the run).
+    collector.enable_lanes(devices);
+  }
   if (config.telemetry.enabled) {
     collector.enable_event_log(config.telemetry.event_capacity);
   }
@@ -133,7 +147,7 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   fleet_cfg.sched = sched_cfg;
   fleet_cfg.transfer_us_per_mb = config.transfer_us_per_mb;
   fleet_cfg.seed = config.seed;
-  cluster::Fleet fleet(sim, fleet_cfg, &collector);
+  cluster::Fleet fleet(sharded_sim, fleet_cfg, &collector);
   // Sized from the fleet, not the config: Fleet clamps num_gpus to >= 1 and
   // config.nodes overrides it entirely.
   collector.set_gpu_count(fleet.size());
@@ -142,10 +156,16 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   // release timer per task) plus per-stream launch/completion and per-job
   // sync events; the slack absorbs open-loop bursts. Sizing is a hint — the
   // pool still grows when a burst outruns it.
-  sim.reserve(config.taskset.tasks.size() * 3 +
-              static_cast<std::size_t>(fleet.size()) *
-                  static_cast<std::size_t>(sched_cfg.parallelism()) * 2 +
-              64);
+  const std::size_t per_device_events =
+      static_cast<std::size_t>(sched_cfg.parallelism()) * 2;
+  if (config.sharded) {
+    sharded_sim.reserve(config.taskset.tasks.size() * 3 + 64,
+                        per_device_events + 64);
+  } else {
+    sim.reserve(config.taskset.tasks.size() * 3 +
+                static_cast<std::size_t>(fleet.size()) * per_device_events +
+                64);
+  }
 
   // One compiled model per distinct kind, shared by every GPU and
   // calibrated against the fleet's base spec; heterogeneous devices run the
@@ -346,11 +366,12 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     });
     // Windowed DMR: misses over completions since the previous tick. The
     // window state lives inside the probe closure — sampler-owned, not
-    // simulation state.
+    // simulation state. class_counts() folds un-finalized lanes, so sharded
+    // runs sample the same values the single-simulator run would.
     auto windowed_dmr = [&collector](common::Priority p) {
       return [&collector, p, last_missed = std::uint64_t{0},
               last_completed = std::uint64_t{0}]() mutable {
-        const metrics::ClassSummary& s = collector.summary(p);
+        const metrics::Collector::ClassCounts s = collector.class_counts(p);
         const std::uint64_t dm = s.missed - last_missed;
         const std::uint64_t dc = s.completed - last_completed;
         last_missed = s.missed;
@@ -371,9 +392,11 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   }
 
   const auto wall_run_start = std::chrono::steady_clock::now();
-  sim.run_until(horizon);
+  sharded_sim.run_until(horizon);
   const double wall_ms_run = wall_ms_since(wall_run_start);
   series.stop();
+  // Fold per-device lanes into the flat summaries/traces (no-op unsharded).
+  collector.finalize_lanes();
 
   ClusterResult result;
   result.total_jps = collector.throughput_jps(horizon);
@@ -415,7 +438,7 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     }
   }
 
-  const sim::Simulator::Stats sstats = sim.stats();
+  const sim::Simulator::Stats sstats = sharded_sim.stats();
   result.profile.events_executed = sstats.events_executed;
   result.profile.callbacks_inline = sstats.callbacks_inline;
   result.profile.callbacks_heap = sstats.callbacks_heap;

@@ -357,7 +357,8 @@ std::string scenario_description(const std::string& name) {
 
 ScenarioResult run_scenario(const std::string& name,
                             const std::string& data_dir,
-                            const ScenarioTelemetry* telemetry) {
+                            const ScenarioTelemetry* telemetry,
+                            const ScenarioSharding* sharding) {
   ScenarioResult out;
   out.name = name;
   const ScenarioDef* def = find_scenario(name);
@@ -371,6 +372,10 @@ ScenarioResult run_scenario(const std::string& name,
   if (telemetry != nullptr) {
     cfg.telemetry.enabled = true;
     cfg.telemetry.sample_period_s = telemetry->sample_period_s;
+  }
+  if (sharding != nullptr) {
+    cfg.sharded = true;
+    cfg.sim_threads = sharding->threads;
   }
   out.cluster = run_cluster(cfg);
   out.report = metrics::trace_report(out.cluster.stage_trace);
@@ -451,6 +456,10 @@ ScenarioResult run_scenario(const std::string& name,
     ClusterConfig base_cfg = def->config(data_dir);
     base_cfg.rebalance = cluster::RebalanceConfig{};
     base_cfg.telemetry.enabled = false;
+    if (sharding != nullptr) {
+      base_cfg.sharded = true;
+      base_cfg.sim_threads = sharding->threads;
+    }
     const ClusterResult base = run_cluster(base_cfg);
     out.metrics.emplace("base_hp_dmr", base.hp.dmr());
     out.metrics.emplace("base_lp_dmr", base.lp.dmr());

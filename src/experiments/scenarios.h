@@ -65,6 +65,17 @@ struct ScenarioTelemetry {
   double sample_period_s = 0.005;
 };
 
+/// Opt-in sharded execution for run_scenario (sim/sharded.h): one event heap
+/// per device on a worker pool. Enabling it must not change the scenario's
+/// fingerprint at any thread count (bench_fig_scenarios --sharded verifies
+/// against the single-simulator run; scripts/check_scenarios.py --sharded
+/// gates it in CI).
+struct ScenarioSharding {
+  /// Worker lanes including the caller; <= 0 picks
+  /// min(hardware_concurrency, device count).
+  int threads = 0;
+};
+
 /// Registered scenario names, in run order.
 std::vector<std::string> scenario_names();
 
@@ -75,9 +86,11 @@ std::string scenario_description(const std::string& name);
 /// repository's tests/data). Unknown names return a ScenarioResult with
 /// pass = false and an "unknown scenario" description. A non-null
 /// `telemetry` enables the sampler + event log and fills the telemetry
-/// artifacts in the result.
+/// artifacts in the result. A non-null `sharding` runs the scenario (and
+/// its counterfactual, when it has one) on the sharded engine.
 ScenarioResult run_scenario(const std::string& name,
                             const std::string& data_dir,
-                            const ScenarioTelemetry* telemetry = nullptr);
+                            const ScenarioTelemetry* telemetry = nullptr,
+                            const ScenarioSharding* sharding = nullptr);
 
 }  // namespace daris::exp

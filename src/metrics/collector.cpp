@@ -1,5 +1,7 @@
 #include "metrics/collector.h"
 
+#include <algorithm>
+
 #include "metrics/eventlog.h"
 
 namespace daris::metrics {
@@ -88,18 +90,99 @@ void Collector::on_reject(const JobEvent& ev) {
   ++c.rejected;
 }
 
-void Collector::on_finish(const JobEvent& ev) {
-  auto& c = classes_[static_cast<std::size_t>(ev.priority)];
+void Collector::record_finish(ClassSummary* cls, std::vector<JobEvent>& jobs,
+                              const JobEvent& ev) {
+  auto& c = cls[static_cast<std::size_t>(ev.priority)];
   ++c.accepted;
-  if (trace_jobs_) job_trace_.push_back(ev);
+  if (trace_jobs_) jobs.push_back(ev);
   if (ev.finish < measure_start_) return;  // warm-up
   ++c.completed;
   if (ev.missed) ++c.missed;
   c.response_ms.add(common::to_ms(ev.finish - ev.release));
 }
 
+void Collector::on_finish(const JobEvent& ev) {
+  if (!lanes_.empty() && ev.gpu >= 0 &&
+      ev.gpu < static_cast<int>(lanes_.size())) {
+    auto& lane = lanes_[static_cast<std::size_t>(ev.gpu)];
+    record_finish(lane.cls, lane.jobs, ev);
+    return;
+  }
+  record_finish(classes_, job_trace_, ev);
+}
+
 void Collector::on_stage(const StageEvent& ev) {
-  if (trace_stages_) stage_trace_.push_back(ev);
+  if (!trace_stages_) return;
+  if (!lanes_.empty() && ev.gpu >= 0 &&
+      ev.gpu < static_cast<int>(lanes_.size())) {
+    lanes_[static_cast<std::size_t>(ev.gpu)].stages.push_back(ev);
+    return;
+  }
+  stage_trace_.push_back(ev);
+}
+
+void Collector::enable_lanes(int devices) {
+  lanes_.assign(static_cast<std::size_t>(devices < 0 ? 0 : devices), Lane{});
+}
+
+void Collector::grow_lanes(int devices) {
+  if (lanes_.empty()) return;  // lanes off: stay off (single-simulator run)
+  if (devices > static_cast<int>(lanes_.size())) {
+    lanes_.resize(static_cast<std::size_t>(devices));
+  }
+}
+
+void Collector::finalize_lanes() {
+  if (lanes_.empty()) return;
+  std::size_t extra_stages = 0;
+  std::size_t extra_jobs = 0;
+  for (const auto& lane : lanes_) {
+    extra_stages += lane.stages.size();
+    extra_jobs += lane.jobs.size();
+  }
+  stage_trace_.reserve(stage_trace_.size() + extra_stages);
+  job_trace_.reserve(job_trace_.size() + extra_jobs);
+  for (auto& lane : lanes_) {
+    for (int p = 0; p < 2; ++p) {
+      auto& src = lane.cls[p];
+      auto& dst = classes_[p];
+      dst.released += src.released;
+      dst.accepted += src.accepted;
+      dst.rejected += src.rejected;
+      dst.completed += src.completed;
+      dst.missed += src.missed;
+      for (const double x : src.response_ms.samples()) dst.response_ms.add(x);
+    }
+    stage_trace_.insert(stage_trace_.end(), lane.stages.begin(),
+                        lane.stages.end());
+    job_trace_.insert(job_trace_.end(), lane.jobs.begin(), lane.jobs.end());
+  }
+  lanes_.clear();
+  // Per-lane streams are time-sorted and appended in device order, so a
+  // stable sort on time yields the canonical (when, gpu) timeline.
+  std::stable_sort(stage_trace_.begin(), stage_trace_.end(),
+                   [](const StageEvent& a, const StageEvent& b) {
+                     return a.when < b.when;
+                   });
+  std::stable_sort(job_trace_.begin(), job_trace_.end(),
+                   [](const JobEvent& a, const JobEvent& b) {
+                     return a.finish < b.finish;
+                   });
+}
+
+Collector::ClassCounts Collector::class_counts(Priority p) const {
+  const auto& base = classes_[static_cast<std::size_t>(p)];
+  ClassCounts c{base.released, base.accepted, base.rejected, base.completed,
+                base.missed};
+  for (const auto& lane : lanes_) {
+    const auto& l = lane.cls[static_cast<std::size_t>(p)];
+    c.released += l.released;
+    c.accepted += l.accepted;
+    c.rejected += l.rejected;
+    c.completed += l.completed;
+    c.missed += l.missed;
+  }
+  return c;
 }
 
 void Collector::set_gpu_count(int n) {

@@ -125,6 +125,47 @@ class Collector {
   void on_finish(const JobEvent& ev);
   void on_stage(const StageEvent& ev);
 
+  // --- sharded-run lanes (sim::ShardedSimulator) -------------------------
+  //
+  // In a sharded fleet run, on_finish/on_stage fire from device-shard events
+  // on pool worker threads; every other hook (release/reject from the
+  // router, routing counters, the event log) is control-phase-only and keeps
+  // writing the shared state directly. Lanes give each device a private
+  // append target so the worker-side hooks never share cache lines, let
+  // alone race: a hook with ev.gpu >= 0 writes lane[ev.gpu], and exactly one
+  // thread executes a given device's events in any window (control-phase
+  // writers run while the pool is parked at the barrier).
+  //
+  // finalize_lanes() folds the lanes back into the flat summaries/traces
+  // once the run ends: counters sum, response samples concatenate in lane
+  // order (Percentiles queries are sort-insensitive), and stage/job traces
+  // merge into (when, gpu) order — per-lane streams are already
+  // time-sorted, so a stable sort restores one canonical timeline whose
+  // fold (metrics/trace_report.h tracks per-task consecutive stages, and a
+  // task occupies one device at a time) matches the single-threaded trace.
+
+  /// Switches on per-device lanes for `devices` devices. Call before the
+  /// run; events with ev.gpu in [0, devices) then land in lanes.
+  void enable_lanes(int devices);
+  /// Widens the lane array mid-run (live GPU add); control phase only.
+  void grow_lanes(int devices);
+  bool lanes_enabled() const { return !lanes_.empty(); }
+  /// Folds lanes into the flat summaries and traces; idempotent. Until this
+  /// runs, summary()/stage_trace()/total_completed() exclude lane contents.
+  void finalize_lanes();
+
+  /// Counter-only class summary including un-finalized lane contents. Safe
+  /// and cheap to call mid-run from the control phase (telemetry probes);
+  /// identical to summary()'s counters when lanes are off or finalized.
+  struct ClassCounts {
+    std::uint64_t released = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t missed = 0;
+  };
+  ClassCounts class_counts(Priority p) const;
+
   /// Sizes the per-GPU routing counters (cluster runs only).
   void set_gpu_count(int n);
   /// Widens the per-GPU routing counters without wiping accumulated state
@@ -192,10 +233,21 @@ class Collector {
   double throughput_jps(Time horizon) const;
 
  private:
+  struct Lane {
+    ClassSummary cls[2];
+    std::vector<StageEvent> stages;
+    std::vector<JobEvent> jobs;
+  };
+
+  /// Shared tail of on_finish: counts into `cls`, traces into `jobs`.
+  void record_finish(ClassSummary* cls, std::vector<JobEvent>& jobs,
+                     const JobEvent& ev);
+
   ClassSummary classes_[2];
   std::vector<RoutingCounters> routing_;
   std::vector<StageEvent> stage_trace_;
   std::vector<JobEvent> job_trace_;
+  std::vector<Lane> lanes_;
   bool trace_stages_ = false;
   bool trace_jobs_ = false;
   Time measure_start_ = 0;

@@ -116,6 +116,22 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   std::size_t pending() const { return heap_.size(); }
 
+  /// Absolute time of the earliest pending event, or kTimeInfinity when the
+  /// queue is empty. Drives the conservative window in sim/sharded.h: the
+  /// barrier runs every other shard strictly past this instant before the
+  /// owning shard executes it.
+  Time next_event_time() const {
+    return heap_.empty() ? common::kTimeInfinity : heap_[0].when;
+  }
+
+  /// Advances now() to `when` without executing anything; no-op when `when`
+  /// is not ahead of now(). Used by the sharded barrier so that callbacks
+  /// invoked on a quiet shard from the control phase (job releases, steals)
+  /// observe the fleet-wide time rather than the shard's last local event.
+  void advance_to(Time when) {
+    if (now_ < when) now_ = when;
+  }
+
   /// Pre-sizes the pool and heap for `events` concurrently-pending events.
   void reserve(std::size_t events);
 
