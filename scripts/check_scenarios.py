@@ -25,7 +25,7 @@ import sys
 import tempfile
 
 # Keep in sync with scenario_defs() in src/experiments/scenarios.cpp.
-EXPECTED_MIN_SCENARIOS = 8
+EXPECTED_MIN_SCENARIOS = 11
 
 
 def load(path):

@@ -40,7 +40,8 @@ EVENT_KEYS = {"ts_us", "kind", "cause", "gpu", "peer", "task", "value"}
 # outside this set means the exporter and the gate disagree about the log's
 # schema — fail loudly instead of silently passing unknown kinds through.
 KNOWN_EVENT_KINDS = {"admit", "reject", "migrate", "transfer", "fault",
-                     "rehome", "drain", "steal", "coalesce"}
+                     "rehome", "drain", "steal", "coalesce", "retry",
+                     "hedge", "breaker"}
 
 
 def check_telemetry_file(path, name, report_digest, failures):

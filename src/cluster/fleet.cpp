@@ -65,6 +65,7 @@ void Fleet::init(const FleetConfig& config) {
   gpus_.reserve(n);
   schedulers_.reserve(n);
   health_.assign(n, GpuHealth::kHealthy);
+  breaker_open_.assign(n, 0);
   hot_models_.assign(n, {});
   memory_used_mb_.assign(n, 0.0);
   for (std::size_t g = 0; g < n; ++g) {
@@ -184,6 +185,70 @@ int Fleet::placeable_count() const {
   return n;
 }
 
+Fleet::ConservationReport Fleet::check_conservation(
+    const ConservationInput& in) const {
+  ConservationReport rep;
+  auto fail = [&rep](std::string why) {
+    if (rep.ok) {
+      rep.ok = false;
+      rep.detail = std::move(why);
+    }
+  };
+  const common::Priority classes[2] = {common::Priority::kHigh,
+                                       common::Priority::kLow};
+  for (int c = 0; c < 2; ++c) {
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t revoked = 0;
+    std::uint64_t in_flight = 0;
+    for (int g = 0; g < size(); ++g) {
+      const auto& sc = scheduler(g).class_counters(classes[c]);
+      const std::uint64_t flight =
+          scheduler(g).jobs_in_flight_of(classes[c]);
+      // Per-device identity first: a violation here means a scheduler path
+      // lost track of a job regardless of what the router did.
+      if (sc.admitted != sc.completed + sc.failed + sc.revoked + flight) {
+        fail("scheduler " + std::to_string(g) + " class " +
+             std::to_string(c) + ": admitted " + std::to_string(sc.admitted) +
+             " != completed " + std::to_string(sc.completed) + " + failed " +
+             std::to_string(sc.failed) + " + revoked " +
+             std::to_string(sc.revoked) + " + in-flight " +
+             std::to_string(flight));
+      }
+      completed += sc.completed;
+      failed += sc.failed;
+      revoked += sc.revoked;
+      in_flight += flight;
+    }
+    // Steals only move LP jobs; each one re-admits on the thief (one extra
+    // admit, one extra revoke, no new route attempt), so they cancel out of
+    // the class-wide identity. Every remaining revoke is a cancelled hedge
+    // copy — its surviving twin already accounts for the route attempt.
+    const std::uint64_t steals =
+        classes[c] == common::Priority::kLow ? in.steals : 0;
+    if (revoked < steals) {
+      fail("class " + std::to_string(c) + ": steals " +
+           std::to_string(steals) + " exceed revokes " +
+           std::to_string(revoked));
+      continue;
+    }
+    const std::uint64_t accounted = in.shed[c] + in.pending[c] + completed +
+                                    failed + in_flight + (revoked - steals);
+    rep.released[c] = in.released[c];
+    rep.accounted[c] = accounted;
+    if (in.released[c] != accounted) {
+      fail("class " + std::to_string(c) + ": released " +
+           std::to_string(in.released[c]) + " != shed " +
+           std::to_string(in.shed[c]) + " + pending " +
+           std::to_string(in.pending[c]) + " + completed " +
+           std::to_string(completed) + " + failed " + std::to_string(failed) +
+           " + in-flight " + std::to_string(in_flight) +
+           " + cancelled-hedges " + std::to_string(revoked - steals));
+    }
+  }
+  return rep;
+}
+
 void Fleet::rehome_tasks_from(int g) {
   // The new home is the placeable device with the lowest placement score
   // (ties to the lowest index) — the router's best_peer signal. The score
@@ -287,6 +352,7 @@ int Fleet::add_gpu_now(const GpuNodeSpec& node) {
   const int g = size();
   nodes_.push_back(node);
   health_.push_back(GpuHealth::kHealthy);
+  breaker_open_.push_back(0);
   hot_models_.emplace_back();
   memory_used_mb_.push_back(0.0);
   // Sharded fleets grow a fresh device shard (clock pre-advanced to the

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -240,11 +241,58 @@ class Fleet {
 
   GpuHealth health(int g) const { return health_[static_cast<std::size_t>(g)]; }
 
-  /// True when the router may place new work on g (healthy, not draining).
+  /// True when the router may place new work on g: healthy, not draining,
+  /// and not masked by an open circuit breaker (cluster::ResiliencePolicy).
   bool placeable(int g) const {
-    return health(g) == GpuHealth::kHealthy;
+    return health(g) == GpuHealth::kHealthy &&
+           breaker_open_[static_cast<std::size_t>(g)] == 0;
   }
   int placeable_count() const;
+
+  /// Circuit-breaker mask (cluster::ResiliencePolicy). An open breaker makes
+  /// the device unplaceable exactly like a draining one — routing skips it,
+  /// feasibility ignores it — but is temporary: nothing is rehomed, in-flight
+  /// transfers keep their target, and clearing the flag restores placements.
+  void set_breaker_open(int g, bool open) {
+    breaker_open_[static_cast<std::size_t>(g)] = open ? 1 : 0;
+  }
+  bool breaker_open(int g) const {
+    return breaker_open_[static_cast<std::size_t>(g)] != 0;
+  }
+
+  // --- job-conservation invariant ----------------------------------------
+
+  /// Router-side accounting the fleet cannot see, indexed by priority class
+  /// ([0] = kHigh, [1] = kLow): route attempts (first releases + retries +
+  /// hedges), synchronous + asynchronous sheds, transfers still in flight,
+  /// and the rebalancer's successful steals (each steal re-admits the job on
+  /// the thief, inflating the schedulers' admit sum by one without a new
+  /// route attempt).
+  struct ConservationInput {
+    std::uint64_t released[2] = {0, 0};
+    std::uint64_t shed[2] = {0, 0};
+    std::uint64_t pending[2] = {0, 0};
+    std::uint64_t steals = 0;  // LP only: the rebalancer steals queued LP jobs
+  };
+
+  struct ConservationReport {
+    bool ok = true;
+    /// Per-class accounting, filled either way; `detail` names the first
+    /// violated identity when !ok.
+    std::uint64_t released[2] = {0, 0};
+    std::uint64_t accounted[2] = {0, 0};
+    std::string detail;
+  };
+
+  /// Checks that no job was double-counted or leaked: per class,
+  ///   released == shed + pending + sum_g(completed + failed + in_flight)
+  ///               + (sum_g revoked - steals)
+  /// (a steal's revoke is cancelled by its re-admit; every other revoke is a
+  /// cancelled hedge copy whose surviving twin is counted once), after first
+  /// verifying each scheduler's internal identity
+  ///   admitted == completed + failed + revoked + in_flight.
+  /// Runs at end of run over live counters — O(fleet + in-flight jobs).
+  ConservationReport check_conservation(const ConservationInput& in) const;
 
   /// Fail-stop: sheds every in-flight job on g (reported as missed
   /// finishes — see rt::Scheduler::fail_all_jobs), halts the simulated
@@ -307,6 +355,7 @@ class Fleet {
   std::vector<std::unique_ptr<gpusim::Gpu>> gpus_;
   std::vector<std::unique_ptr<rt::Scheduler>> schedulers_;
   std::vector<GpuHealth> health_;
+  std::vector<std::uint8_t> breaker_open_;
   std::vector<int> home_;
   // Construction state kept for add_gpu_now: the canonicalized scheduler
   // config every device shares, the collector new schedulers report to, and

@@ -1,0 +1,262 @@
+// Client-side resilience layer: retries, retry budgets, hedged requests,
+// and per-GPU circuit breakers, wired between the workload drivers and the
+// Router.
+//
+// Every real serving front-end re-releases work the fleet shed — and that
+// retry traffic is the canonical *metastable failure* amplifier: the DARIS
+// admission test (Eq. 11/12) is deadline-agnostic, so a retried job
+// re-released with its ORIGINAL release time (the only honest accounting —
+// the deadline clock never stopped) is happily admitted even when most of
+// its slack is gone, burns GPU time, misses, and meanwhile occupies the LP
+// backlog slot (cap 1) that would have admitted a *fresh* job. After an
+// overload pulse the fleet can sustain itself in that mode indefinitely:
+// goodput collapses while utilisation stays pinned. The layer therefore
+// ships the two standard countermeasures next to the retry policy itself:
+//
+//  - Retry budget (token bucket). First attempts earn `retry_budget_ratio`
+//    tokens each; a retry or hedge spends one. The fleet-wide retry rate is
+//    thus capped at ~ratio x the first-attempt rate no matter how hard the
+//    retry policy pushes — the knob that separates the meltdown run from
+//    the recovering run in the retry-storm-meltdown scenario.
+//
+//  - Per-GPU circuit breaker. A periodic control-shard tick folds each
+//    device's completed/missed deltas (scheduler counters) with the sheds
+//    charged to it (Router::shed_at) into a rolling miss+shed rate;
+//    crossing `breaker_open_threshold` with enough volume opens the
+//    breaker, which masks the device from routing exactly like a draining
+//    one (Fleet::set_breaker_open folds into placeable()) — without
+//    rehoming anything, because the state is temporary: after
+//    `breaker_cooldown_s` the breaker half-opens (probe traffic allowed)
+//    and either closes or re-opens on the next window.
+//
+//  - Hedged requests (LP only). When a primary copy is still in flight
+//    after the device's recent p-th percentile response time (per-class
+//    ring in the scheduler; a fraction of the relative deadline until the
+//    ring warms up), a second copy is launched on the best peer that holds
+//    the model hot (Router::route_hedge), first-finish-wins: a per-pair
+//    control-shard poll revokes the losing copy through the scheduler's
+//    revoke path while it is still unstarted; a loser that already started
+//    runs to completion and is counted as duplicate (wasted) work.
+//
+// Determinism: all timers (backoff, hedge triggers, pair polls, breaker
+// ticks) are ordinary control-shard sim::Callback events; backoff jitter
+// comes from a dedicated seeded Rng. Sharded runs stay bit-identical
+// because control events run while the device shards are parked at the
+// window barrier — the same contract the rebalancer relies on. A default
+// ResilienceConfig{} (enabled=false) schedules nothing and leaves every
+// run byte-identical to a build without this file; cluster_runner then
+// wires the drivers straight to the router.
+//
+// docs/RESILIENCE.md is the operator guide (knobs, budget math, breaker
+// state machine, scenario walkthrough).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/fleet.h"
+#include "cluster/router.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+
+namespace daris::cluster {
+
+/// Per-class retry policy. kNone disables retries for the class; kFixed
+/// waits base_delay_us (jittered) between attempts; kExponential doubles
+/// the delay per attempt up to max_delay_us.
+struct RetryPolicy {
+  enum class Backoff { kNone, kFixed, kExponential };
+  Backoff backoff = Backoff::kNone;
+  /// Total attempts including the first release.
+  int max_attempts = 3;
+  double base_delay_us = 500.0;
+  double max_delay_us = 20000.0;
+  /// Uniform jitter factor: each delay is scaled by [1-jitter, 1+jitter]
+  /// drawn from the layer's seeded Rng. 0 = deterministic spacing.
+  double jitter = 0.2;
+};
+
+struct ResilienceConfig {
+  /// Master switch. Off: the layer is inert — no events, no counters, and
+  /// cluster_runner bypasses it entirely (drivers call the router).
+  bool enabled = false;
+
+  /// Retry policies per class. Defaults retry both classes with exponential
+  /// backoff; set backoff = kNone to disable a class.
+  RetryPolicy hp{RetryPolicy::Backoff::kExponential, 3, 500.0, 20000.0, 0.2};
+  RetryPolicy lp{RetryPolicy::Backoff::kExponential, 3, 500.0, 20000.0, 0.2};
+
+  /// Token-bucket retry budget. Each first attempt earns `ratio` tokens
+  /// (capped at `burst`); each retry or hedge launch spends one. Disabled
+  /// (naive mode): retries are never budget-limited.
+  bool budget_enabled = true;
+  double retry_budget_ratio = 0.1;
+  double retry_budget_burst = 32.0;
+
+  /// Hedged requests for LP classes.
+  bool hedge = false;
+  /// Launch the hedge when the primary is still in flight after the FLEET's
+  /// best recent q-th percentile LP response (minimum over placeable
+  /// devices with warm rings) — a straggler's own inflated percentile must
+  /// not get to postpone its own rescue.
+  double hedge_percentile = 95.0;
+  /// Ring samples required before the percentile is trusted; below this the
+  /// trigger falls back to hedge_fallback_frac x relative deadline.
+  int hedge_min_samples = 16;
+  double hedge_fallback_frac = 0.5;
+  /// Pair-settlement poll period (first-finish-wins detection), seconds.
+  double hedge_poll_s = 0.0005;
+
+  /// Per-GPU circuit breaker.
+  bool breaker = false;
+  /// Rolling window / tick period, seconds.
+  double breaker_window_s = 0.1;
+  /// Open when (missed + shed) / (completed + shed) over the window reaches
+  /// this, with at least breaker_min_volume outcomes observed.
+  double breaker_open_threshold = 0.5;
+  int breaker_min_volume = 16;
+  /// Open -> half-open after this cooldown, seconds.
+  double breaker_cooldown_s = 0.3;
+  /// Half-open closes when the probe window's rate falls to this or below;
+  /// otherwise it re-opens.
+  double breaker_close_threshold = 0.2;
+
+  std::uint64_t seed = 42;
+};
+
+class ResiliencePolicy {
+ public:
+  /// `sim` must be the fleet's control-shard simulator (fleet.simulator()).
+  ResiliencePolicy(sim::Simulator& sim, Fleet& fleet, Router& router,
+                   const ResilienceConfig& config,
+                   metrics::Collector* collector);
+
+  ResiliencePolicy(const ResiliencePolicy&) = delete;
+  ResiliencePolicy& operator=(const ResiliencePolicy&) = delete;
+
+  /// Arms the breaker tick (when configured) up to `horizon`. Retry and
+  /// hedge timers are armed per attempt by release(). A disabled config
+  /// makes this a no-op. Call after the fault schedule is posted, before
+  /// the telemetry sampler starts (the sampler stays the last setup step).
+  void start(common::Time horizon);
+
+  /// The drivers' ReleaseFn target: routes a first attempt and arms the
+  /// retry/hedge machinery on its outcome. With the layer disabled this
+  /// forwards to Router::release untouched.
+  void release(int task_id);
+
+  // --- counters (ClusterResult / scenario metrics) ------------------------
+
+  std::uint64_t first_attempts() const { return first_attempts_; }
+  /// Retries actually re-released (budget already spent).
+  std::uint64_t retries() const { return retries_; }
+  /// Retries that ended in an admission.
+  std::uint64_t retry_admits() const { return retry_admits_; }
+  std::uint64_t abandoned_budget() const { return abandoned_budget_; }
+  std::uint64_t abandoned_expired() const { return abandoned_expired_; }
+  std::uint64_t abandoned_attempts() const { return abandoned_attempts_; }
+  /// Hedges launched (second copy admitted on a peer).
+  std::uint64_t hedges() const { return hedges_; }
+  /// Pairs where the hedge copy finished first.
+  std::uint64_t hedge_wins() const { return hedge_wins_; }
+  /// Losing copies revoked before starting (the bounded-duplicate-work
+  /// guarantee: waste = hedges - cancels).
+  std::uint64_t hedge_cancels() const { return hedge_cancels_; }
+  /// Pairs whose loser had already started — both copies ran to completion.
+  std::uint64_t hedge_waste() const { return hedge_waste_; }
+  /// Recorded deadline misses the client never saw: pairs where the hedge
+  /// won within the deadline and the losing primary ran to completion past
+  /// it (observed at poll granularity, counted only when the miss clears a
+  /// full poll period — a deliberately conservative lower bound, since
+  /// revoked-before-start primaries are not counted at all).
+  std::uint64_t hedge_rescued_misses() const { return hedge_rescued_misses_; }
+  std::uint64_t breaker_opens() const { return breaker_opens_; }
+  std::uint64_t breaker_closes() const { return breaker_closes_; }
+  /// Current budget balance (telemetry gauge).
+  double budget_tokens() const { return tokens_; }
+  /// Devices currently masked by an open breaker (telemetry gauge).
+  int breakers_open_now() const;
+  /// q-th percentile of the CLIENT-perceived response over hedged pairs —
+  /// time from the original release to the FIRST copy finishing (detected
+  /// at pair-poll granularity). This is the latency hedging actually
+  /// improves: the collector's per-job histogram keeps recording the losing
+  /// copy's slow finish, because a started loser cannot be revoked. 0 when
+  /// no pair has settled.
+  double hedge_client_percentile_ms(double q) const;
+
+ private:
+  enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+  struct BreakerRec {
+    BreakerState state = BreakerState::kClosed;
+    common::Time opened_at = 0;
+    std::uint64_t last_done = 0;
+    std::uint64_t last_missed = 0;
+    std::uint64_t last_shed = 0;
+  };
+  struct HedgePair {
+    int task = -1;
+    int primary_gpu = -1;
+    int hedge_gpu = -1;
+    std::uint64_t primary_job = 0;
+    std::uint64_t hedge_job = 0;
+    common::Time released = 0;
+  };
+
+  const RetryPolicy& policy_for(int task_id) const;
+  bool spend_token();
+  /// Reacts to a route attempt's synchronous outcome: arms a hedge trigger
+  /// on an admitted LP primary, a backoff timer on a retriable shed.
+  void after_attempt(int task_id, common::Time released, int attempt,
+                     const RouteResult& r);
+  void schedule_retry(int task_id, common::Time released, int attempt);
+  void fire_retry(int task_id, common::Time released, int attempt);
+  common::Duration backoff_delay(const RetryPolicy& pol, int attempt);
+  void arm_hedge(int task_id, common::Time released, const RouteResult& r);
+  void fire_hedge(int task_id, common::Time released, int primary_gpu,
+                  std::uint64_t primary_job);
+  void poll_pair(std::uint64_t pair_id);
+  /// Follows a started losing primary to completion after a hedge win to
+  /// classify its recorded outcome against the original deadline.
+  void watch_loser(int gpu, std::uint64_t job, common::Time deadline);
+  void breaker_tick();
+  void evaluate_breaker(int g, common::Time now);
+
+  sim::Simulator& sim_;
+  Fleet& fleet_;
+  Router& router_;
+  ResilienceConfig config_;
+  metrics::Collector* collector_;
+  common::Rng rng_;
+  common::Time horizon_ = 0;
+  common::Duration hedge_poll_ = 0;
+  common::Duration breaker_period_ = 0;
+  common::Duration breaker_cooldown_ = 0;
+  double tokens_ = 0.0;
+
+  std::uint64_t first_attempts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retry_admits_ = 0;
+  std::uint64_t abandoned_budget_ = 0;
+  std::uint64_t abandoned_expired_ = 0;
+  std::uint64_t abandoned_attempts_ = 0;
+  std::uint64_t hedges_ = 0;
+  std::uint64_t hedge_wins_ = 0;
+  std::uint64_t hedge_cancels_ = 0;
+  std::uint64_t hedge_waste_ = 0;
+  std::uint64_t hedge_rescued_misses_ = 0;
+  std::uint64_t breaker_opens_ = 0;
+  std::uint64_t breaker_closes_ = 0;
+
+  /// Unsettled hedge pairs by ascending pair id (the poll events reference
+  /// pairs by id, so settlement order is a pure function of event order).
+  std::map<std::uint64_t, HedgePair> pairs_;
+  std::uint64_t next_pair_id_ = 1;
+  std::vector<BreakerRec> breakers_;
+  /// Client-perceived response of every settled hedge pair, milliseconds.
+  std::vector<double> hedge_client_ms_;
+};
+
+}  // namespace daris::cluster

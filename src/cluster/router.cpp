@@ -112,8 +112,13 @@ int Router::best_peer(int exclude) const {
 }
 
 void Router::release(int task_id) {
+  (void)route_job(task_id, fleet_.simulator().now());
+}
+
+RouteResult Router::route_job(int task_id, common::Time released) {
   const auto& spec = fleet_.scheduler(0).task(task_id).spec();
-  const common::Time released = fleet_.simulator().now();
+  const auto cls = static_cast<std::size_t>(spec.priority);
+  ++released_cls_[cls];
   if (release_observer_) release_observer_(task_id);
   // HP jobs go to their home GPU — the device carrying their static Eq. 11
   // reservation — mirroring the paper's fixed HP context assignment one
@@ -151,13 +156,17 @@ void Router::release(int task_id) {
   if (!fleet_.feasible(task_id)) {
     ++drops_;
     ++infeasible_;
+    ++shed_cls_[cls];
+    note_shed_at(home);
     if (collector_) {
       collector_->on_reject(ev);
       collector_->on_infeasible(home);
       collector_->log_reject(released, home, task_id,
                              metrics::EventCause::kInfeasible);
     }
-    return;
+    RouteResult r;
+    r.cause = metrics::EventCause::kInfeasible;
+    return r;
   }
 
   // Fleet-wide backlog guard, mirroring the per-device rule in
@@ -170,6 +179,8 @@ void Router::release(int task_id) {
           : fleet_.scheduler(home).config().max_backlog_per_task;
   if (fleet_.active_jobs(task_id) + pending_jobs(task_id) >= backlog_cap) {
     ++drops_;
+    ++shed_cls_[cls];
+    note_shed_at(home);
     if (collector_) {
       collector_->on_reject(ev);
       collector_->on_drop(home);
@@ -177,29 +188,98 @@ void Router::release(int task_id) {
                              metrics::EventCause::kBacklog);
     }
     if (pressure_observer_) pressure_observer_(home);
-    return;
+    RouteResult r;
+    r.cause = metrics::EventCause::kBacklog;
+    return r;
   }
 
-  if (fleet_.scheduler(home).release_job(task_id, /*report=*/false)) {
+  std::uint64_t job_id = 0;
+  if (fleet_.scheduler(home).release_job(task_id, /*report=*/false, released,
+                                         &job_id)) {
     if (collector_) {
       collector_->on_home_admit(home);
       collector_->log_admit(released, home, task_id);
     }
-    return;
+    RouteResult r;
+    r.status = RouteResult::Status::kAdmitted;
+    r.gpu = home;
+    r.job_id = job_id;
+    return r;
   }
 
   // Cross-GPU migration: the job failed admission on every context of its
   // routed GPU; offer it once to the best-scoring peer before dropping.
   const int peer = best_peer(home);
-  if (peer < 0) {
-    drop(task_id, home, released);
-    return;
-  }
-  migrate(task_id, home, peer, released);
+  if (peer < 0) return drop(task_id, home, released);
+  return migrate(task_id, home, peer, released);
 }
 
-void Router::migrate(int task_id, int from, int peer,
-                     common::Time released) {
+RouteResult Router::route_hedge(int task_id, int exclude_gpu,
+                                common::Time released) {
+  // Eligible peers: placeable, not the primary's device, and the model
+  // already hot — a hedge races a straggling primary, so a weight transfer
+  // (or queueing behind one) would defeat its purpose.
+  int best = -1;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (int g = 0; g < fleet_.size(); ++g) {
+    if (g == exclude_gpu || !fleet_.placeable(g)) continue;
+    if (!fleet_.model_hot(g, task_id)) continue;
+    const double score = fleet_.placement_score(g);
+    if (score < best_score) {
+      best_score = score;
+      best = g;
+    }
+  }
+  RouteResult r;
+  if (best < 0) return r;  // no eligible peer: hedge not launched, no counts
+
+  const auto& spec = fleet_.scheduler(0).task(task_id).spec();
+  const auto cls = static_cast<std::size_t>(spec.priority);
+  ++released_cls_[cls];
+
+  metrics::JobEvent ev;
+  ev.task_id = task_id;
+  ev.priority = spec.priority;
+  ev.release = released;
+  ev.relative_deadline = spec.relative_deadline;
+  ev.gpu = best;
+  if (collector_) {
+    collector_->on_release(ev);
+    collector_->on_route(best);
+  }
+
+  // The fleet-wide backlog guard is skipped by design (the primary copy
+  // holds the task's backlog slot); the peer scheduler's own admission test
+  // still applies, so an overloaded peer bounds the duplicate work.
+  std::uint64_t job_id = 0;
+  if (fleet_.scheduler(best).release_job(task_id, /*report=*/false, released,
+                                         &job_id)) {
+    if (collector_) {
+      collector_->on_home_admit(best);
+      collector_->log_admit(released, best, task_id);
+    }
+    r.status = RouteResult::Status::kAdmitted;
+    r.gpu = best;
+    r.job_id = job_id;
+    return r;
+  }
+  ++drops_;
+  ++shed_cls_[cls];
+  note_shed_at(best);
+  if (collector_) {
+    collector_->on_reject(ev);
+    collector_->on_drop(best);
+    collector_->log_reject(released, best, task_id,
+                           metrics::EventCause::kPeerReject);
+  }
+  r.cause = metrics::EventCause::kPeerReject;
+  return r;
+}
+
+RouteResult Router::migrate(int task_id, int from, int peer,
+                            common::Time released) {
+  RouteResult pending;
+  pending.status = RouteResult::Status::kPending;
   if (!fleet_.model_hot(peer, task_id)) {
     // Cold target: ship the weights with the job, delivering once the copy
     // lands. If a copy of this model is already in flight toward the peer
@@ -226,7 +306,7 @@ void Router::migrate(int task_id, int from, int peer,
         // already warmed the model when this job is offered.
         queue_delivery(task_id, from, peer, released, arrive, mb,
                        /*leader=*/false);
-        return;
+        return pending;
       }
     }
     ++transfers_;
@@ -239,10 +319,10 @@ void Router::migrate(int task_id, int from, int peer,
       queue_delivery(task_id, from, peer, released,
                      fleet_.simulator().now() + delay, mb,
                      /*leader=*/config_.coalesce);
-      return;
+      return pending;
     }
   }
-  deliver(task_id, from, peer, released);
+  return deliver(task_id, from, peer, released);
 }
 
 std::uint64_t Router::queue_delivery(int task_id, int from, int peer,
@@ -325,37 +405,45 @@ void Router::cancel_transfers_to(int g) {
   }
 }
 
-void Router::deliver(int task_id, int from, int peer,
-                     common::Time released) {
+RouteResult Router::deliver(int task_id, int from, int peer,
+                            common::Time released) {
   // Cancellation retires transfers to unplaceable devices at the fault
   // instant, so a delivery can only race a fault landing at the exact same
   // timestamp; the bytes are already spent either way, the job is not.
   if (!fleet_.placeable(peer)) {
-    drop(task_id, from, released);
-    return;
+    return drop(task_id, from, released);
   }
   // Weights are on the device now (transfer done, or hot already); pin them
   // while capacity allows so repeat migrations of this model are free. The
   // job keeps its original release time: the transfer consumed deadline
   // slack (and shows in its response time), it did not reset the clock.
   fleet_.warm_model(peer, task_id);
-  if (fleet_.scheduler(peer).release_job(task_id, /*report=*/false,
-                                         released)) {
+  std::uint64_t job_id = 0;
+  if (fleet_.scheduler(peer).release_job(task_id, /*report=*/false, released,
+                                         &job_id)) {
     ++migrations_;
     if (collector_) {
       collector_->on_cross_migration(from, peer);
       collector_->log_migrate(fleet_.simulator().now(), from, peer, task_id);
     }
-    return;
+    RouteResult r;
+    r.status = RouteResult::Status::kAdmitted;
+    r.gpu = peer;
+    r.job_id = job_id;
+    return r;
   }
-  drop(task_id, from, released);
+  return drop(task_id, from, released);
 }
 
-void Router::drop(int task_id, int gpu, common::Time released,
-                  metrics::EventCause cause) {
+RouteResult Router::drop(int task_id, int gpu, common::Time released,
+                         metrics::EventCause cause) {
   ++drops_;
-  if (collector_ == nullptr) return;
   const auto& spec = fleet_.scheduler(0).task(task_id).spec();
+  ++shed_cls_[static_cast<std::size_t>(spec.priority)];
+  note_shed_at(gpu);
+  RouteResult r;
+  r.cause = cause;
+  if (collector_ == nullptr) return r;
   metrics::JobEvent ev;
   ev.task_id = task_id;
   ev.priority = spec.priority;
@@ -365,6 +453,7 @@ void Router::drop(int task_id, int gpu, common::Time released,
   collector_->on_reject(ev);
   collector_->on_drop(gpu);
   collector_->log_reject(released, gpu, task_id, cause);
+  return r;
 }
 
 int Router::pending_jobs(int task_id) const {
@@ -376,6 +465,19 @@ void Router::add_pending_job(int task_id, int delta) {
   const auto i = static_cast<std::size_t>(task_id);
   if (i >= pending_jobs_.size()) pending_jobs_.resize(i + 1, 0);
   pending_jobs_[i] += delta;
+  const auto cls = static_cast<std::size_t>(
+      fleet_.scheduler(0).task(task_id).spec().priority);
+  if (delta > 0) {
+    ++pending_cls_[cls];
+  } else if (delta < 0) {
+    --pending_cls_[cls];
+  }
+}
+
+void Router::note_shed_at(int gpu) {
+  const auto i = static_cast<std::size_t>(gpu);
+  if (i >= shed_at_.size()) shed_at_.resize(i + 1, 0);
+  ++shed_at_[i];
 }
 
 }  // namespace daris::cluster

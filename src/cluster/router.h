@@ -67,6 +67,22 @@ enum class RoutingPolicy {
 
 const char* routing_policy_name(RoutingPolicy p);
 
+/// Synchronous disposition of one route attempt (release, retry, or hedge).
+/// The resilience layer keys its retry/hedge decisions off this: kShed with
+/// a retriable cause may be re-released after backoff; kPending means the
+/// job rides an in-flight weight transfer and will admit or drop later (the
+/// router does not call back — post-transfer drops are not retried, but they
+/// stay in the conservation accounting as sheds).
+struct RouteResult {
+  enum class Status { kAdmitted, kShed, kPending };
+  Status status = Status::kShed;
+  /// Admitting device and job id (kAdmitted only).
+  int gpu = -1;
+  std::uint64_t job_id = 0;
+  /// Shed reason (kShed only): kInfeasible / kBacklog / kPeerReject.
+  metrics::EventCause cause = metrics::EventCause::kNone;
+};
+
 struct RouterConfig {
   RoutingPolicy policy = RoutingPolicy::kLeastUtilization;
 
@@ -100,6 +116,23 @@ class Router {
   /// Routes one released job of `task_id` (the drivers' ReleaseFn target).
   void release(int task_id);
 
+  /// Routing body behind release(): places one job released at `released`
+  /// (<= now; a retry passes the original release so the copy consumes real
+  /// deadline slack) and reports the synchronous disposition. Every call
+  /// counts one route attempt in the per-class conservation counters.
+  RouteResult route_job(int task_id, common::Time released);
+
+  /// Hedged second copy (cluster::ResiliencePolicy): directed placement on
+  /// the best-scoring placeable peer other than `exclude_gpu` where the
+  /// task's model is already hot — a hedge exists to beat a straggling
+  /// primary, so shipping weights (or queueing behind a transfer) defeats
+  /// it. Skips the fleet-wide backlog guard (the primary copy holds the
+  /// backlog slot by design) but takes the peer scheduler's own admission
+  /// test. Returns kShed with cause kNone — and touches no accounting —
+  /// when no eligible peer exists.
+  RouteResult route_hedge(int task_id, int exclude_gpu,
+                          common::Time released);
+
   /// Jobs admitted by a peer after their routed GPU rejected them.
   std::uint64_t cross_gpu_migrations() const { return migrations_; }
 
@@ -125,6 +158,34 @@ class Router {
 
   /// Migrations whose weight transfer is still in flight.
   std::uint64_t pending_transfers() const { return pending_transfers_; }
+
+  // --- conservation accounting (Fleet::check_conservation) ----------------
+  //
+  // Always-on per-class tallies of every route attempt's fate: released ==
+  // shed + pending + admitted holds router-internally at any instant, and
+  // feeding them into the fleet check closes the loop against the
+  // schedulers' own counters.
+
+  /// Route attempts (releases + retries + hedges) of the class.
+  std::uint64_t released_of(common::Priority p) const {
+    return released_cls_[static_cast<std::size_t>(p)];
+  }
+  /// Synchronous + asynchronous sheds (infeasible, backlog, peer-reject,
+  /// post-transfer drops) of the class.
+  std::uint64_t shed_of(common::Priority p) const {
+    return shed_cls_[static_cast<std::size_t>(p)];
+  }
+  /// Jobs of the class still riding an in-flight weight transfer.
+  std::uint64_t pending_of(common::Priority p) const {
+    return pending_cls_[static_cast<std::size_t>(p)];
+  }
+
+  /// Jobs shed after being routed to GPU g (any cause) — the circuit
+  /// breaker's shed signal for the device.
+  std::uint64_t shed_at(int g) const {
+    const auto i = static_cast<std::size_t>(g);
+    return i < shed_at_.size() ? shed_at_[i] : 0;
+  }
 
   /// In-flight weight transfers headed for GPU g (telemetry gauge).
   int pending_transfers_to(int g) const {
@@ -174,12 +235,13 @@ class Router {
   /// Offers a rejected job to `peer`, shipping weights first when the model
   /// is cold there; `from` is the GPU that rejected it, `released` the
   /// job's original release time (deadlines anchor there, so a transfer
-  /// consumes the job's slack).
-  void migrate(int task_id, int from, int peer, common::Time released);
+  /// consumes the job's slack). Returns the synchronous disposition
+  /// (kPending when the job rides a queued transfer).
+  RouteResult migrate(int task_id, int from, int peer, common::Time released);
   /// Transfer-completion half of migrate(): admit-or-drop on the target.
-  void deliver(int task_id, int from, int peer, common::Time released);
-  void drop(int task_id, int gpu, common::Time released,
-            metrics::EventCause cause = metrics::EventCause::kPeerReject);
+  RouteResult deliver(int task_id, int from, int peer, common::Time released);
+  RouteResult drop(int task_id, int gpu, common::Time released,
+                   metrics::EventCause cause = metrics::EventCause::kPeerReject);
   /// Registers a delayed delivery arriving at `arrive` and bumps the
   /// pending gauges. Returns the transfer id.
   std::uint64_t queue_delivery(int task_id, int from, int peer,
@@ -198,6 +260,8 @@ class Router {
   /// in no scheduler yet, so the backlog guards must count them here).
   int pending_jobs(int task_id) const;
   void add_pending_job(int task_id, int delta);
+  /// Charges one shed to the routed GPU's breaker signal (shed_at()).
+  void note_shed_at(int gpu);
 
   Fleet& fleet_;
   RouterConfig config_;
@@ -213,6 +277,10 @@ class Router {
   std::uint64_t transfer_cancels_ = 0;
   double transferred_mb_ = 0.0;
   double coalesced_mb_saved_ = 0.0;
+  std::uint64_t released_cls_[2] = {0, 0};
+  std::uint64_t shed_cls_[2] = {0, 0};
+  std::uint64_t pending_cls_[2] = {0, 0};
+  std::vector<std::uint64_t> shed_at_;  // sheds charged to the routed GPU
   std::vector<int> pending_jobs_;  // per task id
   std::vector<int> pending_to_;    // in-flight transfers per target GPU
   /// In-flight transfers by ascending id — the only iteration order any

@@ -156,7 +156,8 @@ double Scheduler::predicted_backlog_us(int ctx) const {
          static_cast<double>(config_.streams_per_context);
 }
 
-bool Scheduler::release_job(int task_id, bool report, Time released_at) {
+bool Scheduler::release_job(int task_id, bool report, Time released_at,
+                            std::uint64_t* job_id_out) {
   Task& t = task(task_id);
   // Backdated release (cluster migration after a weight transfer): deadlines
   // and response times anchor at the original release, not the delivery.
@@ -251,6 +252,7 @@ bool Scheduler::release_job(int task_id, bool report, Time released_at) {
   }
   jr->job.stage_deadlines.back() = jr->job.absolute_deadline;
 
+  if (job_id_out != nullptr) *job_id_out = jr->job.job_id;
   admit(t, target_ctx, std::move(jr));
   return true;
 }
@@ -267,6 +269,7 @@ void Scheduler::admit(Task& t, int ctx, std::unique_ptr<JobRuntime> jr) {
   }
   rec.outstanding_work_us += t.mret().total_mret_us();
   ++t.active_jobs;
+  ++cls_[static_cast<std::size_t>(t.spec().priority)].admitted;
 
   Job* job = &jr->job;
   jobs_.emplace(jr->job.job_id, std::move(jr));
@@ -484,6 +487,14 @@ void Scheduler::finish_job(JobRuntime& jr) {
   --t.active_jobs;
   ++jobs_completed_;
 
+  const std::size_t cls = static_cast<std::size_t>(t.spec().priority);
+  ++cls_[cls].completed;
+  const bool missed = now > job.absolute_deadline;
+  if (missed) ++jobs_missed_;
+  resp_ring_[cls][resp_count_[cls] % kRespRing] =
+      common::to_us(now - job.release);
+  ++resp_count_[cls];
+
   if (collector_) {
     metrics::JobEvent ev;
     ev.task_id = t.id();
@@ -491,11 +502,32 @@ void Scheduler::finish_job(JobRuntime& jr) {
     ev.release = job.release;
     ev.finish = now;
     ev.relative_deadline = t.spec().relative_deadline;
-    ev.missed = now > job.absolute_deadline;
+    ev.missed = missed;
     ev.context = job.context;
     ev.gpu = device_id_;
     collector_->on_finish(ev);
   }
+}
+
+std::uint64_t Scheduler::jobs_in_flight_of(common::Priority p) const {
+  std::uint64_t n = 0;
+  for (const auto& [id, jr] : jobs_) {
+    if (jr->job.task->spec().priority == p) ++n;
+  }
+  return n;
+}
+
+double Scheduler::response_percentile_us(common::Priority p, double q) const {
+  const std::size_t cls = static_cast<std::size_t>(p);
+  const std::uint32_t n = std::min<std::uint32_t>(resp_count_[cls], kRespRing);
+  if (n == 0) return 0.0;
+  double sorted[kRespRing];
+  std::copy(resp_ring_[cls], resp_ring_[cls] + n, sorted);
+  std::sort(sorted, sorted + n);
+  const double clamped = std::min(100.0, std::max(0.0, q));
+  const auto idx = static_cast<std::size_t>(clamped / 100.0 *
+                                            static_cast<double>(n - 1));
+  return sorted[idx];
 }
 
 std::vector<Scheduler::StealableJob> Scheduler::donatable_lp_jobs() const {
@@ -556,6 +588,7 @@ bool Scheduler::revoke_job(std::uint64_t job_id) {
   const std::size_t removed = rec.ready.remove_job(&job);
   ready_stages_[static_cast<std::size_t>(t.spec().priority)] -=
       static_cast<int>(removed);
+  ++cls_[static_cast<std::size_t>(t.spec().priority)].revoked;
   jobs_.erase(it);
   return true;
 }
@@ -593,6 +626,7 @@ std::size_t Scheduler::fail_all_jobs() {
     }
     --t.active_jobs;
     ++jobs_failed_;
+    ++cls_[static_cast<std::size_t>(t.spec().priority)].failed;
     if (collector_) {
       metrics::JobEvent ev;
       ev.task_id = t.id();

@@ -56,7 +56,11 @@ class Scheduler {
   /// migrated job after its weight transfer with the *original* release
   /// time, so the copy consumes deadline slack (and shows up in response
   /// times) instead of resetting the job's clock.
-  bool release_job(int task_id, bool report = true, Time released_at = -1);
+  /// `job_id_out` (non-null) receives the admitted job's id — the handle the
+  /// resilience layer needs to poll (`job_in_flight`) and cancel
+  /// (`revoke_job`) hedge copies.
+  bool release_job(int task_id, bool report = true, Time released_at = -1,
+                   std::uint64_t* job_id_out = nullptr);
 
   Task& task(int id) { return *tasks_[static_cast<std::size_t>(id)]; }
   const Task& task(int id) const {
@@ -101,6 +105,49 @@ class Scheduler {
 
   /// Completed-job counter (all priorities, includes warm-up).
   std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+  /// Completed-but-late counter (finish past the absolute deadline, all
+  /// priorities, includes warm-up) — the breaker's miss signal.
+  std::uint64_t jobs_missed() const { return jobs_missed_; }
+
+  /// True while `job_id` is admitted here and unfinished (started or not).
+  bool job_in_flight(std::uint64_t job_id) const {
+    return jobs_.find(job_id) != jobs_.end();
+  }
+
+  /// Admitted-but-unfinished jobs of one priority class (O(in-flight) scan;
+  /// end-of-run conservation accounting, not a hot path).
+  std::uint64_t jobs_in_flight_of(common::Priority p) const;
+
+  /// Per-class lifecycle counters. Every admitted job ends in exactly one of
+  /// completed / failed / revoked or is still in flight, so
+  ///   admitted == completed + failed + revoked + jobs_in_flight_of(p)
+  /// holds at any instant — the per-device half of the fleet's
+  /// job-conservation invariant (cluster::Fleet::check_conservation).
+  struct ClassCounters {
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;    // dropped by fail_all_jobs
+    std::uint64_t revoked = 0;   // moved away (steal) or cancelled (hedge)
+  };
+  const ClassCounters& class_counters(common::Priority p) const {
+    return cls_[static_cast<std::size_t>(p)];
+  }
+
+  /// q-th percentile (0..100) of the last <=64 response times (us) of the
+  /// class, or 0 when no sample has been recorded yet — the hedging
+  /// trigger's latency signal. Device-local: the ring is written on the
+  /// finish path (this device's shard) and read from control-shard events,
+  /// which the sharded barrier orders.
+  double response_percentile_us(common::Priority p, double q) const;
+
+  /// Samples currently in the class's response ring (<= 64) — callers gate
+  /// the percentile on a warm-up count.
+  int response_samples(common::Priority p) const {
+    const std::uint32_t n = resp_count_[static_cast<std::size_t>(p)];
+    const auto cap = static_cast<std::uint32_t>(kRespRing);
+    return static_cast<int>(n < cap ? n : cap);
+  }
 
   /// Migration counter (LP jobs admitted to a context other than ctx_i).
   std::uint64_t migrations() const { return migrations_; }
@@ -219,7 +266,13 @@ class Scheduler {
   std::uint64_t next_job_id_ = 1;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_missed_ = 0;
   std::uint64_t migrations_ = 0;
+  ClassCounters cls_[2];
+  // Rolling response-time ring per class (response_percentile_us).
+  static constexpr int kRespRing = 64;
+  double resp_ring_[2][kRespRing] = {};
+  std::uint32_t resp_count_[2] = {0, 0};
   int ready_stages_[2] = {0, 0};  // queued ready stages per priority class
   int device_id_ = -1;
   bool failed_ = false;

@@ -241,7 +241,14 @@ ClusterResult run_cluster(const ClusterConfig& config) {
       config.rebalance.enabled && config.rebalance.coalesce;
   router_cfg.seed = config.seed ^ 0x90C7E6ull;
   cluster::Router router(fleet, router_cfg, &collector);
-  workload::ReleaseFn to_router = [&router](int id) { router.release(id); };
+  // The resilience layer sits between the drivers and the router. Disabled
+  // (the default) it forwards every release untouched, so routing through it
+  // unconditionally keeps one code path while preserving byte-identical runs.
+  cluster::ResiliencePolicy resilience(sim, fleet, router, config.resilience,
+                                       &collector);
+  workload::ReleaseFn to_router = [&resilience](int id) {
+    resilience.release(id);
+  };
 
   const common::Time horizon = common::from_sec(config.duration_s);
   std::unique_ptr<workload::PeriodicDriver> periodic;
@@ -315,6 +322,10 @@ ClusterResult run_cluster(const ClusterConfig& config) {
   cluster::Rebalancer rebalancer(sim, fleet, router, config.rebalance,
                                  &collector);
   rebalancer.start(horizon);
+  // Resilience breaker tick armed after the rebalancer, before the sampler
+  // (same telemetry-inert ordering contract); disabled configs schedule
+  // nothing here.
+  resilience.start(horizon);
 
   // Telemetry sampler: tracks registered up front for every device the run
   // can ever hold (initial fleet + scheduled kAdd scale-ups; probes for a
@@ -387,6 +398,21 @@ ClusterResult run_cluster(const ClusterConfig& config) {
     series.add_track("fleet/jobs_lost", -1, [&fleet] {
       return static_cast<double>(fleet.jobs_lost());
     });
+    // Resilience gauges, registered only when the layer is live so a
+    // resilience-off capture stays byte-identical to one predating it.
+    if (config.resilience.enabled) {
+      for (int g = 0; g < max_gpus; ++g) {
+        series.add_track("gpu/breaker", g, [&fleet, online, g] {
+          return online(g) && fleet.breaker_open(g) ? 1.0 : 0.0;
+        });
+      }
+      series.add_track("fleet/retry_tokens", -1, [&resilience] {
+        return resilience.budget_tokens();
+      });
+      series.add_track("fleet/retries", -1, [&resilience] {
+        return static_cast<double>(resilience.retries());
+      });
+    }
     series.start(sim, common::from_sec(config.telemetry.sample_period_s),
                  horizon);
   }
@@ -421,6 +447,38 @@ ClusterResult run_cluster(const ClusterConfig& config) {
                                    : 0;
   result.jobs_lost = fleet.jobs_lost();
   result.unmatched_rows = trace_driver ? trace_driver->unmatched() : 0;
+  result.resilience = config.resilience.enabled;
+  result.first_attempts = resilience.first_attempts();
+  result.retries = resilience.retries();
+  result.retry_admits = resilience.retry_admits();
+  result.retry_abandoned_budget = resilience.abandoned_budget();
+  result.retry_abandoned_expired = resilience.abandoned_expired();
+  result.retry_abandoned_attempts = resilience.abandoned_attempts();
+  result.hedges = resilience.hedges();
+  result.hedge_wins = resilience.hedge_wins();
+  result.hedge_cancels = resilience.hedge_cancels();
+  result.hedge_waste = resilience.hedge_waste();
+  result.hedge_rescued_misses = resilience.hedge_rescued_misses();
+  result.hedge_client_p99_ms = resilience.hedge_client_percentile_ms(99.0);
+  result.breaker_opens = resilience.breaker_opens();
+  result.breaker_closes = resilience.breaker_closes();
+  // Job conservation, checked after EVERY run — faults, rebalancing, and
+  // resilience all conserve jobs, so a violation is a fleet bug regardless
+  // of configuration.
+  {
+    cluster::Fleet::ConservationInput cons;
+    for (std::size_t c = 0; c < 2; ++c) {
+      const auto p = static_cast<common::Priority>(c);
+      cons.released[c] = router.released_of(p);
+      cons.shed[c] = router.shed_of(p);
+      cons.pending[c] = router.pending_of(p);
+    }
+    cons.steals = rebalancer.steals();
+    const cluster::Fleet::ConservationReport rep =
+        fleet.check_conservation(cons);
+    result.conservation_ok = rep.ok;
+    result.conservation_detail = rep.detail;
+  }
   result.per_gpu.resize(static_cast<std::size_t>(fleet.size()));
   for (int g = 0; g < fleet.size(); ++g) {
     auto& s = result.per_gpu[static_cast<std::size_t>(g)];

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/rebalancer.h"
+#include "cluster/resilience.h"
 #include "cluster/router.h"
 #include "experiments/runner.h"
 #include "metrics/eventlog.h"
@@ -95,6 +97,12 @@ struct ClusterConfig {
   /// byte-identical to one predating the rebalancer.
   cluster::RebalanceConfig rebalance;
 
+  /// Client resilience layer (cluster/resilience.h): retries with backoff,
+  /// token-bucket retry budget, hedged LP requests, per-GPU circuit
+  /// breakers. The default (disabled) config makes the layer a pass-through
+  /// to the router, leaving the run byte-identical to one predating it.
+  cluster::ResilienceConfig resilience;
+
   /// Telemetry (docs/OBSERVABILITY.md). When enabled, run_cluster arms a
   /// metrics::TimeSeries sampler over per-GPU and fleet gauges and turns on
   /// the collector's structured event log; both land in ClusterResult.
@@ -151,6 +159,36 @@ struct ClusterResult {
   std::uint64_t jobs_lost = 0;
   /// Trace rows skipped because no task serves their (model, SLO) class.
   std::uint64_t unmatched_rows = 0;
+  /// Resilience-layer outcomes (all zero unless
+  /// ClusterConfig::resilience.enabled; `resilience` records the switch so
+  /// reports can tell "off" from "on but idle").
+  bool resilience = false;
+  std::uint64_t first_attempts = 0; // releases entering the layer
+  std::uint64_t retries = 0;        // re-releases actually attempted
+  std::uint64_t retry_admits = 0;   // retries that ended in an admission
+  std::uint64_t retry_abandoned_budget = 0;    // token bucket empty
+  std::uint64_t retry_abandoned_expired = 0;   // original deadline passed
+  std::uint64_t retry_abandoned_attempts = 0;  // max-attempts reached
+  std::uint64_t hedges = 0;         // second copies admitted on a peer
+  std::uint64_t hedge_wins = 0;     // pairs the hedge copy finished first
+  std::uint64_t hedge_cancels = 0;  // losing copies revoked before starting
+  std::uint64_t hedge_waste = 0;    // pairs where both copies ran
+  /// Recorded misses the client never saw: the hedge made the deadline and
+  /// the unrevocable primary completed past it (conservative lower bound —
+  /// revoked-before-start primaries are not counted).
+  std::uint64_t hedge_rescued_misses = 0;
+  /// p99 of the client-perceived (first-finish) response over hedged pairs,
+  /// ms; 0 when nothing was hedged. The per-job histograms keep recording
+  /// losing copies, so this is the number hedging actually moves.
+  double hedge_client_p99_ms = 0.0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  /// Job-conservation invariant (Fleet::check_conservation), verified at
+  /// the end of EVERY run: released == shed + pending + completed + failed
+  /// + in-flight + cancelled, per class. A false here means the fleet
+  /// leaked or double-counted a job — always a bug, never workload-related.
+  bool conservation_ok = false;
+  std::string conservation_detail;
   std::vector<metrics::StageEvent> stage_trace;
 
   /// Telemetry capture (empty unless ClusterConfig::telemetry.enabled).

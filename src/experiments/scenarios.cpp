@@ -1,5 +1,6 @@
 #include "experiments/scenarios.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -164,6 +165,126 @@ ClusterConfig flash_crowd_recovery(const std::string& /*data_dir*/) {
 // redistribute homes across both survivors. Stealing is off so recovery is
 // attributable to re-homing alone; the counterfactual run shows the
 // off-run's pile-up.
+// Retry-storm meltdown: the canonical metastable failure, and the reason
+// the resilience layer ships a retry budget and circuit breakers next to
+// the retry policy. A 4x flash crowd for 1.5s drives the 3-GPU fleet into
+// admission-control shedding; every shed is retried with exponential
+// backoff. The retried jobs keep their ORIGINAL release times, so the
+// deadline-agnostic admission test (Eq. 11/12) happily admits near-doomed
+// work that burns GPU time AND occupies the LP backlog slot fresh releases
+// needed — the counterfactual (budget + breaker forced off) shows the
+// resulting amplification and goodput loss persisting past the pulse; the
+// primary run's token bucket caps retries at ~10% of the first-attempt
+// rate, so goodput recovers. The breaker is deliberately NOT armed here: a
+// global overload pushes every device past any rate threshold, and masking
+// healthy devices under global overload only amputates capacity — the
+// budget is the medicine for fleet-wide storms, the breaker for sick
+// devices (its exit guard in cluster/resilience.cpp enforces exactly that).
+ClusterConfig retry_storm(const std::string& /*data_dir*/) {
+  ClusterConfig cfg = fleet_base(3);
+  cfg.arrivals = ArrivalMode::kTrace;
+  cfg.duration_s = 6.0;
+  workload::TraceGenConfig gen;
+  gen.duration_s = 6.0;
+  gen.mean_rate_jps = 2000.0;
+  gen.diurnal_amplitude = 0.0;
+  workload::FlashCrowd spike;
+  spike.start_s = 2.0;
+  spike.duration_s = 1.5;
+  spike.factor = 4.0;
+  gen.flashes.push_back(spike);
+  gen.seed = 7;
+  cfg.trace = workload::generate_trace(workload::trace_mix(cfg.taskset), gen);
+  cfg.resilience.enabled = true;
+  // An aggressive client: 5 attempts with fast exponential backoff — the
+  // policy a front-end team tunes for transient blips, and exactly what
+  // melts the fleet down when the blip is a capacity shortfall.
+  cfg.resilience.hp = {cluster::RetryPolicy::Backoff::kExponential, 5, 300.0,
+                       5000.0, 0.2};
+  cfg.resilience.lp = cfg.resilience.hp;
+  cfg.resilience.budget_enabled = true;
+  cfg.resilience.retry_budget_ratio = 0.1;
+  return cfg;
+}
+
+// The meltdown counterfactual: identical storm, budget forced off. Naive
+// unbudgeted retries — the run the *_gain gates measure against.
+ClusterConfig retry_storm_naive(const std::string& data_dir) {
+  ClusterConfig cfg = retry_storm(data_dir);
+  cfg.resilience.budget_enabled = false;
+  return cfg;
+}
+
+// Hedging tail rescue: bursty load plus a GPU 0 throttle to 0.4x at
+// t=1.0s. The re-profiled admission keeps the straggler from accepting
+// doomed work, so the rescuable tail is the one hedging actually targets
+// in production: jobs that individually drew a long queueing delay (burst
+// arrivals) or a 2.5x service time (straggler survivors). With hedging on,
+// a second copy launches on a model-hot peer once the primary outlives a
+// healthy peer's recent p95 LP response (the fleet-wide floor, not the
+// straggler's own inflated view), and first-finish-wins settles the pair.
+// Retries are off so every effect is attributable to hedging alone; the
+// counterfactual (hedging off) pins the overhead gates. Duplicate work is
+// bounded twice over: healthy-device jobs rarely outlive a healthy p95,
+// and every hedge launch spends a retry-budget token.
+ClusterConfig hedging_tail_rescue(const std::string& /*data_dir*/) {
+  ClusterConfig cfg = fleet_base(4);
+  cfg.arrivals = ArrivalMode::kBursty;
+  cfg.rate_scale = 1.1;
+  cfg.duration_s = 5.0;
+  FaultSpec f;
+  f.kind = FaultSpec::Kind::kSlow;
+  f.gpu = 0;
+  f.at_s = 1.0;
+  f.factor = 0.4;
+  cfg.faults.push_back(f);
+  cfg.resilience.enabled = true;
+  cfg.resilience.hp.backoff = cluster::RetryPolicy::Backoff::kNone;
+  cfg.resilience.lp.backoff = cluster::RetryPolicy::Backoff::kNone;
+  cfg.resilience.hedge = true;
+  // The trigger percentile is read off the FLEET's fastest device (see
+  // ResiliencePolicy::arm_hedge), so p95 here means "slower than a healthy
+  // peer's p95" — which nearly every straggler-stuck job is, and almost no
+  // healthy-device job is. That both fires the hedge while the primary is
+  // still queued (revocable) and keeps the duplicate-work fraction small.
+  cfg.resilience.hedge_percentile = 95.0;
+  cfg.resilience.hedge_fallback_frac = 0.35;
+  return cfg;
+}
+
+ClusterConfig hedging_tail_rescue_off(const std::string& data_dir) {
+  ClusterConfig cfg = hedging_tail_rescue(data_dir);
+  cfg.resilience.hedge = false;
+  return cfg;
+}
+
+// Flash crowd at fleet scale: the flash-crowd shape scaled to 64 GPUs and
+// ~43k JPS, with the full self-healing + resilience stack armed (stealing,
+// re-homing, budgeted retries, breakers). The row exists to keep the
+// engine, the rebalancer's O(fleet) scans, and the conservation invariant
+// honest at an order of magnitude more devices than the rest of the matrix.
+ClusterConfig flash_crowd_64(const std::string& /*data_dir*/) {
+  ClusterConfig cfg = fleet_base(64);
+  cfg.arrivals = ArrivalMode::kTrace;
+  cfg.duration_s = 2.5;
+  cfg.warmup_s = 0.5;
+  workload::TraceGenConfig gen;
+  gen.duration_s = 2.5;
+  gen.mean_rate_jps = 2000.0 * 64.0 / 3.0;
+  gen.diurnal_amplitude = 0.0;
+  workload::FlashCrowd spike;
+  spike.start_s = 1.0;
+  spike.duration_s = 0.8;
+  spike.factor = 2.5;
+  gen.flashes.push_back(spike);
+  gen.seed = 7;
+  cfg.trace = workload::generate_trace(workload::trace_mix(cfg.taskset), gen);
+  cfg.rebalance.enabled = true;
+  cfg.rebalance.max_steals_per_scan = 8;
+  cfg.resilience.enabled = true;
+  return cfg;
+}
+
 ClusterConfig drain_recovery(const std::string& /*data_dir*/) {
   ClusterConfig cfg = fleet_base(3);
   // Poisson at 0.7x nominal: the two survivors can host the whole demand
@@ -182,6 +303,20 @@ ClusterConfig drain_recovery(const std::string& /*data_dir*/) {
   cfg.rebalance.max_moves_per_round = 4;
   cfg.rebalance.hysteresis = 1.4;
   cfg.rebalance.min_dwell_rounds = 6;
+  return cfg;
+}
+
+// Counterfactuals for the rebalancing recovery scenarios: the identical
+// run with rebalancing forced off.
+ClusterConfig flash_crowd_recovery_off(const std::string& data_dir) {
+  ClusterConfig cfg = flash_crowd_recovery(data_dir);
+  cfg.rebalance = cluster::RebalanceConfig{};
+  return cfg;
+}
+
+ClusterConfig drain_recovery_off(const std::string& data_dir) {
+  ClusterConfig cfg = drain_recovery(data_dir);
+  cfg.rebalance = cluster::RebalanceConfig{};
   return cfg;
 }
 
@@ -206,9 +341,10 @@ struct ScenarioDef {
   const char* description;
   ClusterConfig (*config)(const std::string& data_dir);
   std::vector<ThresholdCheck> checks;
-  /// Also run the scenario with rebalancing forced off and expose base_*
+  /// Non-null: also run this config — the scenario with its recovery
+  /// mechanism forced off, everything else identical — and expose base_*
   /// and *_gain metrics (recovery scenarios gate on the gains).
-  bool counterfactual = false;
+  ClusterConfig (*counterfactual)(const std::string& data_dir) = nullptr;
 };
 
 // The committed behaviour envelope. Limits are calibrated from the seeded
@@ -259,7 +395,7 @@ const std::vector<ScenarioDef>& scenario_defs() {
         ge("transferred_mb_cut", 1.0), le("lp_dmr", 0.25),
         le("starved_frac", 0.02), le("worst_stall_us", 100e3),
         le("jobs_lost", 0.0)},
-       /*counterfactual=*/true},
+       &flash_crowd_recovery_off},
       {"drain-recovery-by-rehoming",
        "GPU 0 of 3 drains, no replacement; demand-aware re-homing "
        "redistributes the pile-up",
@@ -268,7 +404,31 @@ const std::vector<ScenarioDef>& scenario_defs() {
         ge("base_hp_dmr", 0.05), le("hp_dmr", 0.03), le("lp_dmr", 0.08),
         le("starved_frac", 0.02), le("worst_stall_us", 100e3),
         le("jobs_lost", 0.0)},
-       /*counterfactual=*/true},
+       &drain_recovery_off},
+      {"retry-storm-meltdown",
+       "4x spike with aggressive client retries; retry budget vs naive",
+       &retry_storm,
+       {ge("retries", 500.0), ge("base_retry_amplification", 1.0),
+        le("retry_amplification", 0.12), ge("hp_dmr_gain", 0.02),
+        ge("drops_cut", 10000.0), ge("goodput_gain", 0.0),
+        ge("base_hp_dmr", 0.10), le("hp_dmr", 0.10),
+        le("starved_frac", 0.02), le("worst_stall_us", 100e3),
+        le("jobs_lost", 0.0)},
+       &retry_storm_naive},
+      {"hedging-tail-rescue",
+       "Bursty load + GPU 0 throttled to 0.4x; LP hedging on peers vs off",
+       &hedging_tail_rescue,
+       {ge("hedges", 50.0), ge("hedge_wins", 10.0), ge("hedge_rescued", 5.0),
+        le("hedge_frac", 0.05), ge("lp_dmr_gain", -0.03), le("lp_dmr", 0.12),
+        le("hp_dmr", 0.03), le("starved_frac", 0.02),
+        le("worst_stall_us", 100e3), le("jobs_lost", 0.0)},
+       &hedging_tail_rescue_off},
+      {"flash-crowd-64",
+       "2.5x spike over ~43k JPS on 64 GPUs with the full healing stack",
+       &flash_crowd_64,
+       {ge("arrivals", 80000.0), le("hp_dmr", 0.10),
+        le("starved_frac", 0.02), le("worst_stall_us", 100e3),
+        le("jobs_lost", 0.0)}},
   };
   return defs;
 }
@@ -327,6 +487,32 @@ std::string fingerprint_of(const ClusterResult& r,
     append(&fp, "coal", r.coalesced_transfers);
     append(&fp, "coal_mb", r.coalesced_mb_saved);
     append(&fp, "cancels", r.transfer_cancels);
+  }
+  // Same contract for the resilience layer: counters appear only when it is
+  // armed, keeping every resilience-off fingerprint byte-identical to its
+  // pre-resilience form.
+  if (r.resilience) {
+    append(&fp, "att", r.first_attempts);
+    append(&fp, "retries", r.retries);
+    append(&fp, "radmit", r.retry_admits);
+    append(&fp, "rbudget", r.retry_abandoned_budget);
+    append(&fp, "rexpire", r.retry_abandoned_expired);
+    append(&fp, "rmax", r.retry_abandoned_attempts);
+    append(&fp, "hedges", r.hedges);
+    append(&fp, "hwins", r.hedge_wins);
+    append(&fp, "hcancel", r.hedge_cancels);
+    append(&fp, "hwaste", r.hedge_waste);
+    append(&fp, "hrescue", r.hedge_rescued_misses);
+    append(&fp, "hclient", r.hedge_client_p99_ms);
+    append(&fp, "bopen", r.breaker_opens);
+    append(&fp, "bclose", r.breaker_closes);
+    // Conservation joins the behaviour digest on resilience runs: a run
+    // that leaks a job must not reproduce a clean run's fingerprint. On
+    // resilience-off runs the invariant is still VERIFIED — the
+    // unconditional ge("conservation") check below gates every scenario —
+    // but it stays out of the fingerprint so legacy fingerprints remain
+    // byte-identical to the committed .baseline_scenarios_pr7.json.
+    append(&fp, "cons", static_cast<std::uint64_t>(r.conservation_ok ? 1 : 0));
   }
   for (const auto& g : r.per_gpu) append(&fp, "g", g.completed);
   return fp;
@@ -446,15 +632,52 @@ ScenarioResult run_scenario(const std::string& name,
       {"coalesced", static_cast<double>(r.coalesced_transfers)},
       {"coalesced_mb_saved", r.coalesced_mb_saved},
       {"transfer_cancels", static_cast<double>(r.transfer_cancels)},
+      {"conservation", r.conservation_ok ? 1.0 : 0.0},
+      {"retries", static_cast<double>(r.retries)},
+      {"retry_admits", static_cast<double>(r.retry_admits)},
+      {"hedges", static_cast<double>(r.hedges)},
+      {"hedge_wins", static_cast<double>(r.hedge_wins)},
+      {"hedge_cancels", static_cast<double>(r.hedge_cancels)},
+      {"hedge_waste", static_cast<double>(r.hedge_waste)},
+      {"hedge_rescued", static_cast<double>(r.hedge_rescued_misses)},
+      {"breaker_opens", static_cast<double>(r.breaker_opens)},
+      {"breaker_closes", static_cast<double>(r.breaker_closes)},
   };
+  // Derived resilience metrics. Goodput counts only on-time completions;
+  // amplification is the retry traffic as a fraction of first attempts;
+  // hedge_frac bounds the duplicate-work overhead.
+  const double measure_s = cfg.duration_s - cfg.warmup_s;
+  auto goodput_of = [measure_s](const ClusterResult& c) {
+    const std::uint64_t done = c.hp.completed + c.lp.completed;
+    const std::uint64_t missed = c.hp.missed + c.lp.missed;
+    return measure_s <= 0.0
+               ? 0.0
+               : static_cast<double>(done - std::min(done, missed)) /
+                     measure_s;
+  };
+  auto amplification_of = [](const ClusterResult& c) {
+    return c.first_attempts == 0
+               ? 0.0
+               : static_cast<double>(c.retries) /
+                     static_cast<double>(c.first_attempts);
+  };
+  out.metrics.emplace("goodput_jps", goodput_of(r));
+  out.metrics.emplace("retry_amplification", amplification_of(r));
+  out.metrics.emplace("hedge_frac",
+                      r.first_attempts == 0
+                          ? 0.0
+                          : static_cast<double>(r.hedges) /
+                                static_cast<double>(r.first_attempts));
+  out.metrics.emplace("lp_p99_ms", r.lp.response_ms.percentile(99.0));
+  out.metrics.emplace("hedge_client_p99_ms", r.hedge_client_p99_ms);
 
-  if (def->counterfactual) {
-    // The same scenario with rebalancing forced off — everything else,
-    // including the seed and fault schedule, identical. Deterministic like
-    // the primary run, so the gains are stable numbers, but kept out of the
-    // fingerprint: the behaviour digest describes the primary run alone.
-    ClusterConfig base_cfg = def->config(data_dir);
-    base_cfg.rebalance = cluster::RebalanceConfig{};
+  if (def->counterfactual != nullptr) {
+    // The same scenario with its recovery mechanism forced off — everything
+    // else, including the seed and fault schedule, identical. Deterministic
+    // like the primary run, so the gains are stable numbers, but kept out
+    // of the fingerprint: the behaviour digest describes the primary run
+    // alone.
+    ClusterConfig base_cfg = def->counterfactual(data_dir);
     base_cfg.telemetry.enabled = false;
     if (sharding != nullptr) {
       base_cfg.sharded = true;
@@ -468,6 +691,13 @@ ScenarioResult run_scenario(const std::string& name,
                         static_cast<double>(base.jobs_lost));
     out.metrics.emplace("base_total_jps", base.total_jps);
     out.metrics.emplace("base_transferred_mb", base.transferred_mb);
+    out.metrics.emplace("base_goodput_jps", goodput_of(base));
+    out.metrics.emplace("base_retry_amplification", amplification_of(base));
+    out.metrics.emplace("base_retries", static_cast<double>(base.retries));
+    out.metrics.emplace("base_lp_p99_ms",
+                        base.lp.response_ms.percentile(99.0));
+    out.metrics.emplace("base_conservation",
+                        base.conservation_ok ? 1.0 : 0.0);
     out.metrics.emplace("hp_dmr_gain", base.hp.dmr() - r.hp.dmr());
     out.metrics.emplace("lp_dmr_gain", base.lp.dmr() - r.lp.dmr());
     out.metrics.emplace("drops_cut",
@@ -475,9 +705,24 @@ ScenarioResult run_scenario(const std::string& name,
                             static_cast<double>(r.drops));
     out.metrics.emplace("transferred_mb_cut",
                         base.transferred_mb - r.transferred_mb);
+    out.metrics.emplace("goodput_gain", goodput_of(r) - goodput_of(base));
+    out.metrics.emplace("lp_p99_cut_ms", base.lp.response_ms.percentile(99.0) -
+                                             r.lp.response_ms.percentile(99.0));
+    // NOTE: hedge_client_p99_ms is deliberately NOT differenced against the
+    // base run's population p99 — hedged pairs are a biased-slow subset
+    // (they are hedged precisely because they outlived the fleet's p-q), so
+    // a subset-vs-population cut would be structurally negative even when
+    // every rescue succeeds. The honest rescue count is hedge_rescued.
   }
 
   out.checks = def->checks;
+  // Every scenario — old and new — gates on job conservation; a counter
+  // that fails to balance is a fleet bug no matter the workload. The
+  // counterfactual run must conserve too, when there is one.
+  out.checks.push_back(ge("conservation", 1.0));
+  if (def->counterfactual != nullptr) {
+    out.checks.push_back(ge("base_conservation", 1.0));
+  }
   out.pass = true;
   for (auto& check : out.checks) {
     const auto it = out.metrics.find(check.metric);

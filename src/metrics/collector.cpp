@@ -80,6 +80,28 @@ void Collector::log_drain(Time when, int gpu) {
   }
 }
 
+void Collector::log_retry(Time when, int gpu, int task, EventCause cause,
+                          int attempt) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kRetry, cause, gpu, -1, task,
+                       static_cast<double>(attempt));
+  }
+}
+
+void Collector::log_hedge(Time when, int gpu, int peer, int task,
+                          EventCause cause) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kHedge, cause, gpu, peer, task);
+  }
+}
+
+void Collector::log_breaker(Time when, int gpu, EventCause cause,
+                            double rate) {
+  if (event_log_) {
+    event_log_->append(when, EventKind::kBreaker, cause, gpu, -1, -1, rate);
+  }
+}
+
 void Collector::on_release(const JobEvent& ev) {
   auto& c = classes_[static_cast<std::size_t>(ev.priority)];
   ++c.released;

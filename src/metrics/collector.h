@@ -213,6 +213,13 @@ class Collector {
   void log_drain(Time when, int gpu);
   void log_steal(Time when, int victim, int thief, int task);
   void log_coalesce(Time when, int to_gpu, int task, double mb);
+  /// Resilience-layer records: a retry released or abandoned (value =
+  /// attempt number), a hedge launched/won/cancelled (`gpu` = primary,
+  /// `peer` = hedge device), a breaker transition (value = the window's
+  /// miss+shed rate).
+  void log_retry(Time when, int gpu, int task, EventCause cause, int attempt);
+  void log_hedge(Time when, int gpu, int peer, int task, EventCause cause);
+  void log_breaker(Time when, int gpu, EventCause cause, double rate);
 
   int gpu_count() const { return static_cast<int>(routing_.size()); }
   const RoutingCounters& routing(int gpu) const {

@@ -25,6 +25,12 @@ const char* event_kind_name(EventKind k) {
       return "steal";
     case EventKind::kCoalesce:
       return "coalesce";
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kHedge:
+      return "hedge";
+    case EventKind::kBreaker:
+      return "breaker";
   }
   return "?";
 }
@@ -61,6 +67,26 @@ const char* event_cause_name(EventCause c) {
       return "demand-shift";
     case EventCause::kRetarget:
       return "retarget";
+    case EventCause::kBackoff:
+      return "backoff";
+    case EventCause::kBudgetExhausted:
+      return "budget-exhausted";
+    case EventCause::kMaxAttempts:
+      return "max-attempts";
+    case EventCause::kExpired:
+      return "expired";
+    case EventCause::kHedgeLaunch:
+      return "hedge-launch";
+    case EventCause::kHedgeWin:
+      return "hedge-win";
+    case EventCause::kHedgeCancel:
+      return "hedge-cancel";
+    case EventCause::kBreakerOpen:
+      return "breaker-open";
+    case EventCause::kBreakerHalfOpen:
+      return "breaker-half-open";
+    case EventCause::kBreakerClose:
+      return "breaker-close";
   }
   return "?";
 }
@@ -122,7 +148,13 @@ std::vector<RoutingCounters> EventLog::fold_routing(int gpu_count) const {
       case EventKind::kFault:
       case EventKind::kRehome:
       case EventKind::kDrain:
-        break;  // lifecycle records carry no routing counts
+      case EventKind::kRetry:
+      case EventKind::kHedge:
+      case EventKind::kBreaker:
+        // Lifecycle and resilience records carry no routing counts: a retry
+        // or hedge that was actually released shows up as its own
+        // admit/reject/migrate record.
+        break;
     }
   }
   return out;

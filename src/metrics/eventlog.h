@@ -39,6 +39,12 @@ enum class EventKind : std::uint8_t {
   kSteal,     // queued LP job claimed by `peer` off `gpu`'s ready queue
   kCoalesce,  // migration attached to an in-flight weight copy to `gpu`
               // (value = MB the coalesced transfer did NOT re-ship)
+  kRetry,     // client resilience layer re-released (or abandoned) a shed
+              // job (cause says which; value = attempt number)
+  kHedge,     // hedged LP request lifecycle: launched on `peer` against the
+              // primary copy on `gpu`, won, or was cancelled
+  kBreaker,   // per-GPU circuit breaker transition (value = observed
+              // miss+shed rate over the window that drove it)
 };
 
 /// Why the event happened; kinds use the subset that applies to them.
@@ -59,6 +65,16 @@ enum class EventCause : std::uint8_t {
   kDemandShift,   // kRehome: periodic demand-aware re-homing moved the task
   kRetarget,      // kTransfer/kReject: in-flight transfer's target became
                   // unplaceable; the job was re-migrated or dropped
+  kBackoff,         // kRetry: shed job re-released after its backoff delay
+  kBudgetExhausted, // kRetry: retry/hedge abandoned, token bucket empty
+  kMaxAttempts,     // kRetry: retry abandoned, attempt cap reached
+  kExpired,         // kRetry: retry abandoned, no deadline slack left
+  kHedgeLaunch,     // kHedge: second copy admitted on `peer`
+  kHedgeWin,        // kHedge: the hedge copy finished first
+  kHedgeCancel,     // kHedge: losing copy revoked before it started
+  kBreakerOpen,     // kBreaker: rolling miss+shed rate tripped the breaker
+  kBreakerHalfOpen, // kBreaker: cooldown elapsed, probe traffic allowed
+  kBreakerClose,    // kBreaker: probe window healthy, breaker closed
 };
 
 const char* event_kind_name(EventKind k);

@@ -261,6 +261,13 @@ std::vector<std::uint64_t> counters_of(const exp::ClusterResult& r) {
       r.transfers,    r.arrivals,     r.jobs_lost,   r.steals,
       r.rehomes,      r.transfer_cancels,            r.coalesced_transfers,
       r.cross_gpu_migrations,         r.intra_gpu_migrations,
+      r.first_attempts,               r.retries,
+      r.retry_admits, r.retry_abandoned_budget,
+      r.retry_abandoned_expired,      r.retry_abandoned_attempts,
+      r.hedges,       r.hedge_wins,   r.hedge_cancels,
+      r.hedge_waste,  r.hedge_rescued_misses,
+      r.breaker_opens,
+      r.breaker_closes,               r.conservation_ok ? 1u : 0u,
   };
   for (const auto& g : r.per_gpu) {
     v.push_back(g.completed);
@@ -321,6 +328,86 @@ TEST(ShardedDifferential, ClusterRunMatchesUnshardedAtEveryThreadCount) {
     for (std::size_t g = 0; g < r.per_gpu.size(); ++g) {
       EXPECT_EQ(r.per_gpu[g].utilization, baseline.per_gpu[g].utilization)
           << threads << " threads, gpu " << g;
+    }
+  }
+}
+
+// --- chaos-schedule fuzz -------------------------------------------------
+
+/// A randomized-but-seeded adversarial config: fuzzed fault schedule (kind,
+/// target, time, severity all drawn from `seed`), rebalancing coin-flipped,
+/// and the resilience layer armed with fuzzed retry/hedge/breaker knobs.
+/// Everything the fleet ships, colliding on one run.
+exp::ClusterConfig chaos_cluster_config(std::uint64_t seed) {
+  common::Rng rng(seed);
+  exp::ClusterConfig cfg;
+  cfg.taskset = workload::replicated_taskset(workload::mixed_taskset(), 3);
+  cfg.sched.policy = rt::Policy::kMps;
+  cfg.sched.num_contexts = 4;
+  cfg.sched.oversubscription = 4.0;
+  cfg.num_gpus = 3;
+  cfg.routing = cluster::RoutingPolicy::kHybrid;
+  cfg.arrivals = exp::ArrivalMode::kBursty;
+  cfg.rate_scale = rng.uniform(1.0, 1.5);  // overload => sheds => retries
+  cfg.duration_s = 1.2;
+  cfg.warmup_s = 0.3;
+  cfg.seed = seed ^ 0xF1EE71ull;
+
+  const int num_faults = static_cast<int>(rng.uniform_int(1, 3));
+  for (int i = 0; i < num_faults; ++i) {
+    exp::FaultSpec f;
+    const int kind = static_cast<int>(rng.uniform_int(0, 3));
+    f.kind = static_cast<exp::FaultSpec::Kind>(kind);
+    f.gpu = static_cast<int>(rng.uniform_int(0, 2));
+    f.at_s = rng.uniform(0.4, 1.0);
+    f.factor = rng.uniform(0.3, 0.8);
+    cfg.faults.push_back(f);
+  }
+
+  cfg.rebalance.enabled = rng.uniform(0.0, 1.0) < 0.5;
+
+  cfg.resilience.enabled = true;
+  cfg.resilience.seed = seed ^ 0x5EEDull;
+  cfg.resilience.hp.backoff = cluster::RetryPolicy::Backoff::kExponential;
+  cfg.resilience.lp.backoff = rng.uniform(0.0, 1.0) < 0.5
+                                  ? cluster::RetryPolicy::Backoff::kFixed
+                                  : cluster::RetryPolicy::Backoff::kExponential;
+  cfg.resilience.hp.max_attempts = static_cast<int>(rng.uniform_int(2, 5));
+  cfg.resilience.lp.max_attempts = static_cast<int>(rng.uniform_int(2, 5));
+  cfg.resilience.hp.base_delay_us = rng.uniform(100.0, 800.0);
+  cfg.resilience.lp.base_delay_us = rng.uniform(100.0, 800.0);
+  cfg.resilience.budget_enabled = rng.uniform(0.0, 1.0) < 0.7;
+  cfg.resilience.retry_budget_ratio = rng.uniform(0.05, 0.5);
+  cfg.resilience.hedge = rng.uniform(0.0, 1.0) < 0.5;
+  cfg.resilience.breaker = rng.uniform(0.0, 1.0) < 0.5;
+  cfg.resilience.breaker_open_threshold = rng.uniform(0.2, 0.6);
+  return cfg;
+}
+
+TEST(ShardedDifferential, ChaosScheduleConservesAndMatchesAcrossThreads) {
+  // Fault schedule x rebalancing x retries/hedging/breakers, fuzzed per
+  // seed: however the chaos lands, (a) every job must be conserved, and
+  // (b) the sharded engine must reproduce the single-simulator run exactly
+  // at every thread count.
+  for (const std::uint64_t seed : {3ull, 11ull, 0xABCDull}) {
+    const exp::ClusterResult baseline =
+        exp::run_cluster(chaos_cluster_config(seed));
+    EXPECT_TRUE(baseline.conservation_ok)
+        << "seed " << seed << ": " << baseline.conservation_detail;
+    const std::vector<std::uint64_t> want = counters_of(baseline);
+    ASSERT_GT(baseline.hp.completed + baseline.lp.completed, 50u)
+        << "seed " << seed;
+
+    for (const int threads : {1, 2, 4}) {
+      exp::ClusterConfig cfg = chaos_cluster_config(seed);
+      cfg.sharded = true;
+      cfg.sim_threads = threads;
+      const exp::ClusterResult r = exp::run_cluster(cfg);
+      EXPECT_TRUE(r.conservation_ok)
+          << "seed " << seed << ", " << threads << " threads: "
+          << r.conservation_detail;
+      EXPECT_EQ(counters_of(r), want)
+          << "seed " << seed << ", " << threads << " threads";
     }
   }
 }
